@@ -1,0 +1,111 @@
+// Command circgen generates benchmark circuits (the paper's Table III
+// suite plus parametric adders/multipliers) and, optionally, approximate
+// versions of them, writing BLIF or ASCII AIGER files.
+//
+// Usage:
+//
+//	circgen -name adder32 -o adder32.blif
+//	circgen -name mult8 -format aag -o mult8.aag
+//	circgen -name adder16 -approx 5 -budget 0.01 -o bench/adder16
+//	circgen -suite -o bench/          # the whole Table III suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vacsem/internal/aiger"
+	"vacsem/internal/als"
+	"vacsem/internal/blif"
+	"vacsem/internal/circuit"
+	"vacsem/internal/gen"
+	"vacsem/internal/verilog"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "", "benchmark name (adderN, multN, or a Table III name)")
+		out    = flag.String("o", "", "output file, or directory with -suite/-approx")
+		format = flag.String("format", "blif", "output format: blif, aag or v (Verilog)")
+		suite  = flag.Bool("suite", false, "generate the whole Table III suite into -o dir")
+		approx = flag.Int("approx", 0, "also generate N approximate versions")
+		budget = flag.Float64("budget", 0.01, "error-rate budget for approximate versions")
+		seed   = flag.Int64("seed", 1, "base seed for approximate generation")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "circgen: -o is required")
+		os.Exit(2)
+	}
+	ext := "." + *format
+	if *format != "blif" && *format != "aag" && *format != "v" {
+		fmt.Fprintf(os.Stderr, "circgen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	if *suite {
+		fail(os.MkdirAll(*out, 0o755))
+		for _, b := range gen.Suite() {
+			c := b.Build()
+			path := filepath.Join(*out, b.Name+ext)
+			fail(writeFile(path, c, *format))
+			fmt.Printf("wrote %s (%d PI, %d PO, %d nodes)\n",
+				path, c.NumInputs(), c.NumOutputs(), c.NumGates())
+		}
+		return
+	}
+
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "circgen: -name or -suite is required")
+		os.Exit(2)
+	}
+	c, err := gen.ByName(*name)
+	fail(err)
+
+	if *approx > 0 {
+		fail(os.MkdirAll(*out, 0o755))
+		exactPath := filepath.Join(*out, *name+ext)
+		fail(writeFile(exactPath, c, *format))
+		fmt.Printf("wrote %s\n", exactPath)
+		for i := 0; i < *approx; i++ {
+			a := als.Approximate(c, als.Config{
+				Seed:         *seed + int64(i)*7919,
+				TargetER:     *budget,
+				RequireError: true,
+			})
+			path := filepath.Join(*out, fmt.Sprintf("%s_apx%d%s", *name, i, ext))
+			fail(writeFile(path, a, *format))
+			fmt.Printf("wrote %s\n", path)
+		}
+		return
+	}
+
+	fail(writeFile(*out, c, *format))
+	fmt.Printf("wrote %s (%d PI, %d PO, %d nodes)\n",
+		*out, c.NumInputs(), c.NumOutputs(), c.NumGates())
+}
+
+func writeFile(path string, c *circuit.Circuit, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "aag":
+		return aiger.Write(f, c)
+	case "v":
+		return verilog.Write(f, c)
+	default:
+		return blif.Write(f, c)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "circgen:", err)
+		os.Exit(1)
+	}
+}

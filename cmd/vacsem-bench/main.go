@@ -1,0 +1,98 @@
+// Command vacsem-bench regenerates the paper's experimental tables:
+//
+//	Table III — benchmark inventory (#PI / #PO / #AIG nodes)
+//	Table IV  — ER of approximate adders & multipliers, three methods
+//	Table V   — MED of approximate adders & multipliers, three methods
+//	Table VI  — ER of EPFL & BACS circuits, VACSEM vs the DPLL baseline
+//
+// The default suite is scaled down so a complete run finishes in minutes
+// (the counter is pure Go); -full restores the paper's circuit sizes.
+//
+// Usage:
+//
+//	vacsem-bench -table all
+//	vacsem-bench -table 4 -versions 10 -timelimit 5m
+//	vacsem-bench -table 6 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vacsem/internal/bench"
+	"vacsem/internal/core"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to regenerate: 3, 4, 5, 6, dd or all")
+	full := flag.Bool("full", false, "use the paper's full-size circuits (slow)")
+	versions := flag.Int("versions", 0, "approximate versions per benchmark (default 3, 10 with -full)")
+	timeLimit := flag.Duration("timelimit", 0, "per-verification time limit (default 30s, 4h with -full)")
+	flag.Parse()
+
+	cfg := bench.Config{Full: *full, Versions: *versions, TimeLimit: *timeLimit}
+	want := func(t string) bool { return *table == "all" || *table == t }
+	ran := false
+
+	if want("3") {
+		ran = true
+		bench.WriteTable3(os.Stdout)
+		fmt.Println()
+	}
+	if want("4") {
+		ran = true
+		specs := bench.AdderMultSpecs(cfg)
+		rows := bench.RunTable(specs, bench.ER, cfg)
+		bench.WriteTable(os.Stdout, "Table IV: verifying ERs of adders and multipliers", rows, cfg)
+		fmt.Println()
+	}
+	if want("5") {
+		ran = true
+		specs := bench.AdderMultSpecs(cfg)
+		rows := bench.RunTable(specs, bench.MED, cfg)
+		bench.WriteTable(os.Stdout, "Table V: verifying MEDs of adders and multipliers", rows, cfg)
+		fmt.Println()
+	}
+	if want("dd") {
+		ran = true
+		bench.WriteDDScalability(os.Stdout, cfg)
+		fmt.Println()
+	}
+	if want("6") {
+		ran = true
+		// Table VI compares VACSEM against the DPLL baseline only.
+		cfg6 := cfg
+		cfg6.Methods = []core.Method{core.MethodVACSEM, core.MethodDPLL}
+		specs := bench.EPFLBACSSpecs(cfg6)
+		rows := bench.RunTable(specs, bench.ER, cfg6)
+		writeTable6(rows, cfg6)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown -table %q (want 3, 4, 5, 6, dd or all)\n", *table)
+		os.Exit(2)
+	}
+}
+
+func writeTable6(rows []bench.Row, cfg bench.Config) {
+	limit := cfg.TimeLimit
+	if limit == 0 {
+		limit = 30 * time.Second
+		if cfg.Full {
+			limit = 4 * time.Hour
+		}
+	}
+	fmt.Printf("Table VI: verifying ERs of EPFL and BACS circuits%s\n",
+		map[bool]string{true: " (full-size)", false: " (scaled)"}[cfg.Full])
+	fmt.Printf("%-11s %14s %16s\n", "Name", "VACSEM/s", "Speedup vs DPLL")
+	for _, r := range rows {
+		sp := r.Speedup(core.MethodDPLL, limit)
+		if d := r.Cells[core.MethodDPLL]; d.TimedOut || d.Infeasible {
+			sp = "N/A (" + sp + ")"
+		}
+		fmt.Printf("%-11s %14s %16s\n", r.Name,
+			r.Cells[core.MethodVACSEM].Render(limit), strings.TrimSpace(sp))
+	}
+}

@@ -1,0 +1,3 @@
+module vacsem
+
+go 1.22

@@ -1,0 +1,209 @@
+// Package aiger reads and writes combinational AND-inverter graphs in
+// the ASCII AIGER format ("aag"), the interchange format of the hardware
+// model-checking and logic-synthesis communities. Only combinational
+// AIGs are supported (no latches); circuits with other gate kinds are
+// converted through synth.ToAIG before writing.
+package aiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/synth"
+)
+
+// Parse reads an ASCII AIGER (aag) file into a circuit. Inverted edges
+// become Not nodes; AIGER literal 0/1 map to const0 and its negation.
+func Parse(r io.Reader) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("aiger: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 6 || header[0] != "aag" {
+		return nil, fmt.Errorf("aiger: bad header %q (only ascii 'aag' supported)", sc.Text())
+	}
+	nums := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		v, err := strconv.Atoi(header[i+1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", header[i+1])
+		}
+		nums[i] = v
+	}
+	maxVar, nIn, nLatch, nOut, nAnd := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if nLatch != 0 {
+		return nil, fmt.Errorf("aiger: %d latches unsupported (combinational only)", nLatch)
+	}
+
+	readLits := func(n int, what string) ([][]int, error) {
+		out := make([][]int, 0, n)
+		for i := 0; i < n; i++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("aiger: truncated %s section", what)
+			}
+			fields := strings.Fields(sc.Text())
+			row := make([]int, len(fields))
+			for j, f := range fields {
+				v, err := strconv.Atoi(f)
+				if err != nil || v < 0 || v > 2*maxVar+1 {
+					return nil, fmt.Errorf("aiger: bad literal %q in %s", f, what)
+				}
+				row[j] = v
+			}
+			out = append(out, row)
+		}
+		return out, nil
+	}
+	ins, err := readLits(nIn, "input")
+	if err != nil {
+		return nil, err
+	}
+	outs, err := readLits(nOut, "output")
+	if err != nil {
+		return nil, err
+	}
+	ands, err := readLits(nAnd, "and")
+	if err != nil {
+		return nil, err
+	}
+
+	c := circuit.New("aig")
+	// nodeOfVar[v] = circuit node of AIGER variable v.
+	nodeOfVar := make([]int, maxVar+1)
+	for i := range nodeOfVar {
+		nodeOfVar[i] = -1
+	}
+	nodeOfVar[0] = 0
+	for i, row := range ins {
+		if len(row) != 1 || row[0]%2 != 0 || row[0] == 0 {
+			return nil, fmt.Errorf("aiger: bad input literal row %v", row)
+		}
+		nodeOfVar[row[0]/2] = c.AddInput(fmt.Sprintf("i%d", i))
+	}
+	// AND definitions may be in any order in AIGER; resolve iteratively.
+	notCache := map[int]int{}
+	litNode := func(lit int) (int, bool) {
+		n := nodeOfVar[lit/2]
+		if n < 0 {
+			return -1, false
+		}
+		if lit%2 == 0 {
+			return n, true
+		}
+		if nn, ok := notCache[n]; ok {
+			return nn, true
+		}
+		nn := c.AddGate(circuit.Not, n)
+		notCache[n] = nn
+		return nn, true
+	}
+	built := make([]bool, len(ands))
+	remaining := len(ands)
+	for remaining > 0 {
+		progress := false
+		for i, row := range ands {
+			if built[i] {
+				continue
+			}
+			if len(row) != 3 || row[0]%2 != 0 {
+				return nil, fmt.Errorf("aiger: bad and row %v", row)
+			}
+			a, okA := litNode(row[1])
+			b, okB := litNode(row[2])
+			if !okA || !okB {
+				continue
+			}
+			nodeOfVar[row[0]/2] = c.AddGate(circuit.And, a, b)
+			built[i] = true
+			remaining--
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("aiger: undefined or cyclic AND dependencies")
+		}
+	}
+	for i, row := range outs {
+		if len(row) != 1 {
+			return nil, fmt.Errorf("aiger: bad output row %v", row)
+		}
+		n, ok := litNode(row[0])
+		if !ok {
+			return nil, fmt.Errorf("aiger: output references undefined variable %d", row[0]/2)
+		}
+		c.AddOutput(n, fmt.Sprintf("o%d", i))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("aiger: %w", err)
+	}
+	return c, nil
+}
+
+// Write serializes the circuit as ASCII AIGER, converting to an AIG
+// first when it contains non-AND/NOT gates. NOT nodes become inverted
+// edges.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	aig := synth.ToAIG(c)
+	// AIGER literal of each node: var index assigned to inputs and AND
+	// gates; NOT and BUF nodes resolve to (possibly inverted) literals.
+	lit := make([]int, len(aig.Nodes))
+	for i := range lit {
+		lit[i] = -1
+	}
+	lit[0] = 0
+	nextVar := 1
+	for _, id := range aig.Inputs {
+		lit[id] = 2 * nextVar
+		nextVar++
+	}
+	type andRow struct{ lhs, a, b int }
+	var ands []andRow
+	for id := 1; id < len(aig.Nodes); id++ {
+		nd := &aig.Nodes[id]
+		switch nd.Kind {
+		case circuit.Input:
+		case circuit.Not:
+			lit[id] = lit[nd.Fanins[0]] ^ 1
+		case circuit.Buf:
+			lit[id] = lit[nd.Fanins[0]]
+		case circuit.And:
+			lit[id] = 2 * nextVar
+			nextVar++
+			ands = append(ands, andRow{lit[id], lit[nd.Fanins[0]], lit[nd.Fanins[1]]})
+		default:
+			return fmt.Errorf("aiger: ToAIG left a %s node", nd.Kind)
+		}
+		if lit[id] < 0 {
+			return fmt.Errorf("aiger: unresolved literal for node %d", id)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", nextVar-1, len(aig.Inputs), len(aig.Outputs), len(ands))
+	for _, id := range aig.Inputs {
+		fmt.Fprintf(bw, "%d\n", lit[id])
+	}
+	for _, o := range aig.Outputs {
+		fmt.Fprintf(bw, "%d\n", lit[o])
+	}
+	for _, a := range ands {
+		fmt.Fprintf(bw, "%d %d %d\n", a.lhs, a.a, a.b)
+	}
+	// Symbol table for inputs/outputs keeps the files debuggable.
+	for i, id := range aig.Inputs {
+		if n := aig.Nodes[id].Name; n != "" {
+			fmt.Fprintf(bw, "i%d %s\n", i, n)
+		}
+	}
+	for i := range aig.Outputs {
+		fmt.Fprintf(bw, "o%d %s\n", i, aig.OutputName(i))
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,125 @@
+package aiger
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/gen"
+	"vacsem/internal/testutil"
+)
+
+func TestParseHandWritten(t *testing.T) {
+	// y = a AND NOT b  (literals: a=2, b=4, and=6, output=6)
+	src := "aag 3 2 0 1 1\n2\n4\n6\n6 2 5\n"
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 2 || c.NumOutputs() != 1 {
+		t.Fatalf("interface: %v", c.Stat())
+	}
+	for x := uint64(0); x < 4; x++ {
+		a := x&1 == 1
+		b := x>>1&1 == 1
+		want := a && !b
+		if (c.EvalUint(x) == 1) != want {
+			t.Errorf("wrong at %02b", x)
+		}
+	}
+}
+
+func TestParseInvertedOutputAndConst(t *testing.T) {
+	// Output = NOT input; plus a constant-true output (literal 1).
+	src := "aag 1 1 0 2 0\n2\n3\n1\n"
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.EvalUint(0); got != 3 {
+		t.Errorf("EvalUint(0) = %b, want 11", got)
+	}
+	if got := c.EvalUint(1); got != 2 {
+		t.Errorf("EvalUint(1) = %b, want 10", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"binary":    "aig 3 2 0 1 1\n",
+		"latches":   "aag 3 1 1 1 0\n2\n4 2\n2\n",
+		"truncated": "aag 3 2 0 1 1\n2\n4\n6\n",
+		"badlit":    "aag 1 1 0 1 0\n2\n99\n",
+		"undef":     "aag 3 1 0 1 1\n2\n6\n6 4 2\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		c := testutil.RandomCircuit(4+int(seed%4), 8+int(seed*5%25), 3, seed+500)
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, buf.String())
+		}
+		if !testutil.SameFunction(c, back) {
+			t.Fatalf("seed %d: AIGER round trip changed the function", seed)
+		}
+	}
+}
+
+func TestRoundTripArithmetic(t *testing.T) {
+	for _, c := range []*circuit.Circuit{
+		gen.RippleCarryAdder(5),
+		gen.ArrayMultiplier(3),
+	} {
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testutil.SameFunction(c, back) {
+			t.Fatalf("%s: round trip changed the function", c.Name)
+		}
+	}
+}
+
+func TestWriteHeaderShape(t *testing.T) {
+	c := gen.RippleCarryAdder(2)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	fields := strings.Fields(first)
+	if len(fields) != 6 || fields[0] != "aag" || fields[3] != "0" {
+		t.Errorf("header = %q", first)
+	}
+}
+
+func TestWriteSymbolTable(t *testing.T) {
+	c := circuit.New("sym")
+	a := c.AddInput("alpha")
+	c.AddOutput(c.AddGate(circuit.Not, a), "omega")
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "i0 alpha") || !strings.Contains(s, "o0 omega") {
+		t.Errorf("symbol table missing:\n%s", s)
+	}
+}

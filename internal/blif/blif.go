@@ -1,0 +1,349 @@
+// Package blif reads and writes combinational circuits in the Berkeley
+// Logic Interchange Format (the format of the EPFL and BACS benchmark
+// distributions). The supported subset covers combinational netlists:
+// .model, .inputs, .outputs, .names (with single-output SOP covers) and
+// .end. Latches and subcircuits are rejected with a clear error.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"vacsem/internal/circuit"
+)
+
+// Parse reads one BLIF model from r.
+func Parse(r io.Reader) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+
+	var (
+		name    string
+		inputs  []string
+		outputs []string
+	)
+	type cover struct {
+		inputs []string
+		out    string
+		rows   []string // "<inputs> <outvalue>"
+	}
+	var covers []cover
+	var cur *cover
+
+	// Logical-line reader with '\' continuation.
+	var pending string
+	nextLine := func() (string, bool) {
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "#"); i >= 0 {
+				line = line[:i]
+			}
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			if strings.HasSuffix(line, "\\") {
+				pending += strings.TrimSuffix(line, "\\") + " "
+				continue
+			}
+			out := pending + line
+			pending = ""
+			return out, true
+		}
+		return "", false
+	}
+
+	for {
+		line, ok := nextLine()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".model":
+			if len(fields) > 1 {
+				name = fields[1]
+			}
+		case ".inputs":
+			inputs = append(inputs, fields[1:]...)
+		case ".outputs":
+			outputs = append(outputs, fields[1:]...)
+		case ".names":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif: .names with no signals")
+			}
+			covers = append(covers, cover{
+				inputs: fields[1 : len(fields)-1],
+				out:    fields[len(fields)-1],
+			})
+			cur = &covers[len(covers)-1]
+		case ".end":
+			cur = nil
+		case ".latch", ".subckt", ".gate":
+			return nil, fmt.Errorf("blif: unsupported construct %q (combinational subset only)", fields[0])
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				return nil, fmt.Errorf("blif: unknown directive %q", fields[0])
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("blif: cover row %q outside .names", line)
+			}
+			cur.rows = append(cur.rows, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(outputs) == 0 {
+		return nil, fmt.Errorf("blif: model has no outputs")
+	}
+
+	c := circuit.New(name)
+	node := map[string]int{}
+	for _, in := range inputs {
+		if _, dup := node[in]; dup {
+			return nil, fmt.Errorf("blif: input %q declared twice", in)
+		}
+		node[in] = c.AddInput(in)
+	}
+
+	// Two-pass: declare signals first (covers may reference later
+	// covers), then build logic and Normalize.
+	// We build a placeholder-free construction instead: process covers in
+	// dependency order via repeated passes.
+	built := make([]bool, len(covers))
+	remaining := len(covers)
+	for remaining > 0 {
+		progress := false
+		for i := range covers {
+			if built[i] {
+				continue
+			}
+			cv := &covers[i]
+			ready := true
+			for _, in := range cv.inputs {
+				if _, ok := node[in]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			id, err := buildCover(c, node, cv.inputs, cv.rows)
+			if err != nil {
+				return nil, fmt.Errorf("blif: cover for %q: %w", cv.out, err)
+			}
+			if _, dup := node[cv.out]; dup {
+				return nil, fmt.Errorf("blif: signal %q defined twice", cv.out)
+			}
+			node[cv.out] = id
+			built[i] = true
+			remaining--
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("blif: cyclic or undefined signal dependencies")
+		}
+	}
+	for _, out := range outputs {
+		id, ok := node[out]
+		if !ok {
+			return nil, fmt.Errorf("blif: output %q undefined", out)
+		}
+		c.AddOutput(id, out)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("blif: %w", err)
+	}
+	return c, nil
+}
+
+// buildCover turns one SOP cover into gates: OR over product rows, where
+// each row ANDs the literals given by its input plane ('0' negated, '1'
+// positive, '-' absent). An output plane of 0 complements the whole
+// cover. An empty cover is constant 0; a cover with no inputs and a "1"
+// row is constant 1.
+func buildCover(c *circuit.Circuit, node map[string]int, ins []string, rows []string) (int, error) {
+	onset := true
+	var terms []int
+	for _, row := range rows {
+		fields := strings.Fields(row)
+		var plane, outVal string
+		switch {
+		case len(fields) == 2:
+			plane, outVal = fields[0], fields[1]
+		case len(fields) == 1 && len(ins) == 0:
+			plane, outVal = "", fields[0]
+		default:
+			return 0, fmt.Errorf("bad cover row %q", row)
+		}
+		if len(plane) != len(ins) {
+			return 0, fmt.Errorf("row %q has %d literals for %d inputs", row, len(plane), len(ins))
+		}
+		switch outVal {
+		case "1":
+		case "0":
+			onset = false
+		default:
+			return 0, fmt.Errorf("bad output value %q", outVal)
+		}
+		term := -1
+		for j, ch := range plane {
+			var lit int
+			switch ch {
+			case '1':
+				lit = node[ins[j]]
+			case '0':
+				lit = c.AddGate(circuit.Not, node[ins[j]])
+			case '-':
+				continue
+			default:
+				return 0, fmt.Errorf("bad plane character %q", string(ch))
+			}
+			if term < 0 {
+				term = lit
+			} else {
+				term = c.AddGate(circuit.And, term, lit)
+			}
+		}
+		if term < 0 {
+			term = c.Const1() // row with all '-': tautology
+		}
+		terms = append(terms, term)
+	}
+	var out int
+	switch len(terms) {
+	case 0:
+		out = 0 // constant 0 (no rows)
+	case 1:
+		out = terms[0]
+	default:
+		out = terms[0]
+		for _, tm := range terms[1:] {
+			out = c.AddGate(circuit.Or, out, tm)
+		}
+	}
+	if !onset {
+		out = c.AddGate(circuit.Not, out)
+	}
+	return out, nil
+}
+
+// Write serializes the circuit as BLIF. Every gate becomes one .names
+// cover. Node names are synthesized ("n<id>") unless the node carries a
+// name.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	name := c.Name
+	if name == "" {
+		name = "circuit"
+	}
+	fmt.Fprintf(bw, ".model %s\n", name)
+
+	sigName := make([]string, len(c.Nodes))
+	used := map[string]bool{}
+	for id, nd := range c.Nodes {
+		n := nd.Name
+		if n == "" || used[n] {
+			n = fmt.Sprintf("n%d", id)
+		}
+		used[n] = true
+		sigName[id] = n
+	}
+	sigName[0] = "const0__"
+
+	fmt.Fprint(bw, ".inputs")
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, " %s", sigName[id])
+	}
+	fmt.Fprintln(bw)
+
+	outNames := make([]string, c.NumOutputs())
+	usedOut := map[string]bool{}
+	for i := range c.Outputs {
+		on := c.OutputName(i)
+		if usedOut[on] {
+			on = fmt.Sprintf("%s_dup%d", on, i)
+		}
+		usedOut[on] = true
+		outNames[i] = on
+	}
+	fmt.Fprint(bw, ".outputs")
+	for _, on := range outNames {
+		fmt.Fprintf(bw, " %s", on)
+	}
+	fmt.Fprintln(bw)
+
+	// Emit const0 only if referenced.
+	mark := c.ConeMark(c.Outputs...)
+	if mark[0] {
+		fmt.Fprintf(bw, ".names %s\n", sigName[0])
+	}
+	for id := 1; id < len(c.Nodes); id++ {
+		nd := &c.Nodes[id]
+		if nd.Kind == circuit.Input || !mark[id] {
+			continue
+		}
+		fmt.Fprintf(bw, ".names")
+		for _, f := range nd.Fanins {
+			fmt.Fprintf(bw, " %s", sigName[f])
+		}
+		fmt.Fprintf(bw, " %s\n", sigName[id])
+		bw.WriteString(coverRows(nd.Kind))
+	}
+	// Output drivers: alias covers.
+	for i, o := range c.Outputs {
+		fmt.Fprintf(bw, ".names %s %s\n1 1\n", sigName[o], outNames[i])
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// coverRows returns the SOP onset rows of each gate kind.
+func coverRows(k circuit.Kind) string {
+	switch k {
+	case circuit.Buf:
+		return "1 1\n"
+	case circuit.Not:
+		return "0 1\n"
+	case circuit.And:
+		return "11 1\n"
+	case circuit.Nand:
+		return "0- 1\n-0 1\n"
+	case circuit.Or:
+		return "1- 1\n-1 1\n"
+	case circuit.Nor:
+		return "00 1\n"
+	case circuit.Xor:
+		return "10 1\n01 1\n"
+	case circuit.Xnor:
+		return "00 1\n11 1\n"
+	case circuit.Mux:
+		// inputs (s, a, b): output = a when s=0, b when s=1
+		return "01- 1\n1-1 1\n"
+	case circuit.Maj:
+		return "11- 1\n1-1 1\n-11 1\n"
+	default:
+		panic("blif: coverRows on " + k.String())
+	}
+}
+
+// SortedSignalNames is a small helper used by tests and tools to get a
+// circuit's named signals deterministically.
+func SortedSignalNames(c *circuit.Circuit) []string {
+	var names []string
+	for _, nd := range c.Nodes {
+		if nd.Name != "" {
+			names = append(names, nd.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,200 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/gen"
+	"vacsem/internal/testutil"
+)
+
+func TestParseSimple(t *testing.T) {
+	src := `
+# a 2-input circuit
+.model top
+.inputs a b
+.outputs y z
+.names a b y
+11 1
+.names a b nz
+10 1
+01 1
+.names nz z
+0 1
+.end
+`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "top" || c.NumInputs() != 2 || c.NumOutputs() != 2 {
+		t.Fatalf("parsed wrong interface: %v", c.Stat())
+	}
+	// y = a&b, z = xnor(a,b)
+	for x := uint64(0); x < 4; x++ {
+		a := x&1 == 1
+		b := x>>1&1 == 1
+		out := c.EvalUint(x)
+		if (out&1 == 1) != (a && b) {
+			t.Errorf("y wrong at %02b", x)
+		}
+		if (out>>1&1 == 1) != (a == b) {
+			t.Errorf("z wrong at %02b", x)
+		}
+	}
+}
+
+func TestParseConstCovers(t *testing.T) {
+	src := `
+.model k
+.inputs a
+.outputs zero one pass
+.names zero
+.names one
+1
+.names a pass
+1 1
+.end
+`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 2; x++ {
+		out := c.EvalUint(x)
+		if out&1 != 0 {
+			t.Error("zero output not 0")
+		}
+		if out>>1&1 != 1 {
+			t.Error("one output not 1")
+		}
+		if out>>2 != x {
+			t.Error("pass output wrong")
+		}
+	}
+}
+
+func TestParseOutOfOrderCovers(t *testing.T) {
+	// A cover referencing a signal defined by a later .names.
+	src := `
+.model ooo
+.inputs a b
+.outputs y
+.names t y
+0 1
+.names a b t
+11 1
+.end
+`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y = !(a&b)
+	for x := uint64(0); x < 4; x++ {
+		want := x != 3
+		if (c.EvalUint(x) == 1) != want {
+			t.Errorf("nand wrong at %02b", x)
+		}
+	}
+}
+
+func TestParseContinuationAndComments(t *testing.T) {
+	src := ".model c\n.inputs \\\na b\n.outputs y # trailing comment\n.names a b y\n11 1\n.end\n"
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 2 {
+		t.Fatalf("continuation line mishandled: %d inputs", c.NumInputs())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"latch":        ".model m\n.inputs a\n.outputs y\n.latch a y 0\n.end\n",
+		"no outputs":   ".model m\n.inputs a\n.end\n",
+		"undef output": ".model m\n.inputs a\n.outputs y\n.end\n",
+		"dup signal":   ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n",
+		"bad plane":    ".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n",
+		"cyclic":       ".model m\n.inputs a\n.outputs y\n.names y2 y\n1 1\n.names y y2\n1 1\n.end\n",
+		"stray row":    ".model m\n.inputs a\n.outputs y\n11 1\n.end\n",
+		"unknown dir":  ".model m\n.wibble\n.end\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		c := testutil.RandomCircuit(4+int(seed%4), 10+int(seed*3%25), 3, seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, buf.String())
+		}
+		if !testutil.SameFunction(c, back) {
+			t.Fatalf("seed %d: BLIF round trip changed the function", seed)
+		}
+	}
+}
+
+func TestRoundTripArithmetic(t *testing.T) {
+	for _, c := range []*circuit.Circuit{
+		gen.RippleCarryAdder(6),
+		gen.ArrayMultiplier(4),
+		gen.AbsDiff(5),
+	} {
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testutil.SameFunction(c, back) {
+			t.Fatalf("%s: round trip changed the function", c.Name)
+		}
+		if back.NumInputs() != c.NumInputs() || back.NumOutputs() != c.NumOutputs() {
+			t.Fatalf("%s: interface changed", c.Name)
+		}
+	}
+}
+
+func TestWriteConstOutput(t *testing.T) {
+	c := circuit.New("k")
+	c.AddInput("a")
+	c.AddOutput(0, "zero")
+	c.AddOutput(c.Const1(), "one")
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := back.EvalUint(0)
+	if out != 2 {
+		t.Errorf("const outputs wrong: %b", out)
+	}
+}
+
+func TestSortedSignalNames(t *testing.T) {
+	c := circuit.New("n")
+	c.AddInput("b")
+	c.AddInput("a")
+	names := SortedSignalNames(c)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}

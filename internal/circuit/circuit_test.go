@@ -1,0 +1,361 @@
+package circuit
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func mkAndOr(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("t")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	g1 := c.AddGate(And, a, b)
+	g2 := c.AddGate(Or, g1, d)
+	c.AddOutput(g2, "y")
+	return c
+}
+
+func TestKindString(t *testing.T) {
+	if And.String() != "and" || Xnor.String() != "xnor" || Const0.String() != "const0" {
+		t.Error("kind names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Error("out-of-range kind must still render")
+	}
+}
+
+func TestKindFaninCount(t *testing.T) {
+	cases := map[Kind]int{
+		Const0: 0, Input: 0, Buf: 1, Not: 1, And: 2, Nand: 2,
+		Or: 2, Nor: 2, Xor: 2, Xnor: 2, Mux: 3, Maj: 3,
+	}
+	for k, n := range cases {
+		if k.FaninCount() != n {
+			t.Errorf("%v.FaninCount() = %d, want %d", k, k.FaninCount(), n)
+		}
+	}
+}
+
+func TestKindEvalMatrix(t *testing.T) {
+	f := func(k Kind, a, b bool) bool {
+		return k.Eval([]bool{a, b})
+	}
+	type row struct {
+		k    Kind
+		vals [4]bool // 00 01 10 11 (a,b)
+	}
+	rows := []row{
+		{And, [4]bool{false, false, false, true}},
+		{Nand, [4]bool{true, true, true, false}},
+		{Or, [4]bool{false, true, true, true}},
+		{Nor, [4]bool{true, false, false, false}},
+		{Xor, [4]bool{false, true, true, false}},
+		{Xnor, [4]bool{true, false, false, true}},
+	}
+	for _, r := range rows {
+		i := 0
+		for _, a := range []bool{false, true} {
+			for _, b := range []bool{false, true} {
+				if f(r.k, a, b) != r.vals[i] {
+					t.Errorf("%v(%v,%v) = %v", r.k, a, b, f(r.k, a, b))
+				}
+				i++
+			}
+		}
+	}
+}
+
+// TestEvalWordMatchesEval: word evaluation must agree with scalar
+// evaluation bit by bit for every kind (property test).
+func TestEvalWordMatchesEval(t *testing.T) {
+	kinds := []Kind{Buf, Not, And, Nand, Or, Nor, Xor, Xnor, Mux, Maj}
+	f := func(w0, w1, w2 uint64) bool {
+		for _, k := range kinds {
+			n := k.FaninCount()
+			in := []uint64{w0, w1, w2}[:n]
+			w := k.EvalWord(in)
+			for bit := 0; bit < 64; bit += 7 {
+				args := make([]bool, n)
+				for j := range args {
+					args[j] = in[j]>>uint(bit)&1 == 1
+				}
+				if (w>>uint(bit)&1 == 1) != k.Eval(args) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddGatePanics(t *testing.T) {
+	c := New("p")
+	a := c.AddInput("a")
+	assertPanic(t, "fanin count", func() { c.AddGate(And, a) })
+	assertPanic(t, "forward ref", func() { c.AddGate(Not, 99) })
+	assertPanic(t, "non-gate", func() { c.AddGate(Input) })
+}
+
+func assertPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestValidate(t *testing.T) {
+	c := mkAndOr(t)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Break it: cyclic/forward fanin.
+	bad := c.Clone()
+	bad.Nodes[4].Fanins[0] = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("forward fanin not caught")
+	}
+	bad2 := c.Clone()
+	bad2.Outputs[0] = 99
+	if err := bad2.Validate(); err == nil {
+		t.Error("bad output not caught")
+	}
+	bad3 := c.Clone()
+	bad3.Inputs = append(bad3.Inputs, bad3.Inputs[0])
+	if err := bad3.Validate(); err == nil {
+		t.Error("duplicate input not caught")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	c := mkAndOr(t)
+	cp := c.Clone()
+	cp.Nodes[5].Kind = And
+	cp.Nodes[5].Fanins[0] = 0
+	if c.Nodes[5].Kind != Or || c.Nodes[5].Fanins[0] == 0 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestEvalAndEvalUint(t *testing.T) {
+	c := mkAndOr(t)
+	// y = (a & b) | d
+	for x := uint64(0); x < 8; x++ {
+		a := x&1 == 1
+		b := x>>1&1 == 1
+		d := x>>2&1 == 1
+		want := (a && b) || d
+		got := c.Eval([]bool{a, b, d})[0]
+		if got != want {
+			t.Errorf("Eval(%03b) = %v, want %v", x, got, want)
+		}
+		if (c.EvalUint(x) == 1) != want {
+			t.Errorf("EvalUint(%03b) mismatch", x)
+		}
+	}
+}
+
+func TestEvalBigWide(t *testing.T) {
+	// 70-input AND-tree: only the all-ones pattern yields 1.
+	c := New("wide")
+	ids := make([]int, 70)
+	for i := range ids {
+		ids[i] = c.AddInput("")
+	}
+	cur := ids[0]
+	for _, id := range ids[1:] {
+		cur = c.AddGate(And, cur, id)
+	}
+	c.AddOutput(cur, "y")
+	x := new(big.Int)
+	if c.EvalBig(x).Sign() != 0 {
+		t.Error("AND-tree of zeros should be 0")
+	}
+	for i := 0; i < 70; i++ {
+		x.SetBit(x, i, 1)
+	}
+	if c.EvalBig(x).Bit(0) != 1 {
+		t.Error("AND-tree of ones should be 1")
+	}
+}
+
+func TestSupportAndCone(t *testing.T) {
+	c := New("s")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	g1 := c.AddGate(And, a, b)
+	g2 := c.AddGate(Not, d)
+	c.AddOutput(g1, "y0")
+	c.AddOutput(g2, "y1")
+	sup := c.Support(g1)
+	if len(sup) != 2 || sup[0] != a || sup[1] != b {
+		t.Errorf("Support(g1) = %v", sup)
+	}
+	mark := c.ConeMark(g2)
+	if !mark[g2] || !mark[d] || mark[a] || mark[g1] {
+		t.Errorf("ConeMark wrong: %v", mark)
+	}
+}
+
+func TestExtractCone(t *testing.T) {
+	c := New("e")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	g1 := c.AddGate(And, a, b)
+	g2 := c.AddGate(Xor, d, g1)
+	c.AddOutput(g1, "y0")
+	c.AddOutput(g2, "y1")
+	cone, _ := c.ExtractCone(0)
+	if cone.NumInputs() != 2 || cone.NumOutputs() != 1 {
+		t.Fatalf("cone: %d PI %d PO", cone.NumInputs(), cone.NumOutputs())
+	}
+	if err := cone.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Function preserved: And of the two remaining inputs.
+	for x := uint64(0); x < 4; x++ {
+		want := x == 3
+		if (cone.EvalUint(x) == 1) != want {
+			t.Errorf("cone(%02b) wrong", x)
+		}
+	}
+}
+
+func TestAppend(t *testing.T) {
+	inner := New("inner")
+	a := inner.AddInput("a")
+	b := inner.AddInput("b")
+	inner.AddOutput(inner.AddGate(Xor, a, b), "y")
+
+	outer := New("outer")
+	x := outer.AddInput("x")
+	y := outer.AddInput("y")
+	outs := Append(outer, inner, []int{x, y})
+	outs2 := Append(outer, inner, []int{outs[0], y})
+	outer.AddOutput(outs2[0], "z")
+	// z = (x^y)^y = x
+	for v := uint64(0); v < 4; v++ {
+		if outer.EvalUint(v)&1 != v&1 {
+			t.Errorf("Append composition wrong at %02b", v)
+		}
+	}
+}
+
+func TestLevelsAndStats(t *testing.T) {
+	c := mkAndOr(t)
+	lv, depth := c.Levels()
+	if depth != 2 {
+		t.Errorf("depth = %d, want 2", depth)
+	}
+	if lv[c.Outputs[0]] != 2 {
+		t.Errorf("output level = %d", lv[c.Outputs[0]])
+	}
+	s := c.Stat()
+	if s.Inputs != 3 || s.Outputs != 1 || s.Nodes != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Stats.String empty")
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	c := mkAndOr(t)
+	fo := c.Fanouts()
+	// g1 (node 4) feeds g2 (node 5)
+	if len(fo[4]) != 1 || fo[4][0] != 5 {
+		t.Errorf("fanouts of g1 = %v", fo[4])
+	}
+}
+
+func TestConst1Reuse(t *testing.T) {
+	c := New("c1")
+	one := c.Const1()
+	if c.Const1() != one {
+		t.Error("Const1 should be reused")
+	}
+	if c.Nodes[one].Kind != Not || c.Nodes[one].Fanins[0] != 0 {
+		t.Error("Const1 must be Not(const0)")
+	}
+}
+
+func TestOutputNames(t *testing.T) {
+	c := New("n")
+	a := c.AddInput("a")
+	c.AddOutput(a, "first")
+	c.AddOutput(a, "")
+	if c.OutputName(0) != "first" {
+		t.Errorf("OutputName(0) = %q", c.OutputName(0))
+	}
+	if c.OutputName(1) != "po1" {
+		t.Errorf("OutputName(1) = %q", c.OutputName(1))
+	}
+	c.SetOutputName(1, "second")
+	if c.OutputName(1) != "second" {
+		t.Errorf("after SetOutputName: %q", c.OutputName(1))
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	// Build a circuit with hand-scrambled node order via direct struct
+	// manipulation, then Normalize.
+	c := &Circuit{Name: "scrambled"}
+	c.Nodes = []Node{
+		{Kind: Const0},
+		{Kind: And, Fanins: []int{3, 4}}, // forward refs
+		{Kind: Or, Fanins: []int{1, 4}},
+		{Kind: Input, Name: "a"},
+		{Kind: Input, Name: "b"},
+	}
+	c.Inputs = []int{3, 4}
+	c.Outputs = []int{2}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("normalized circuit invalid: %v", err)
+	}
+	// (a & b) | b == b
+	for x := uint64(0); x < 4; x++ {
+		want := x>>1&1 == 1
+		if (c.EvalUint(x) == 1) != want {
+			t.Errorf("Normalize changed function at %02b", x)
+		}
+	}
+}
+
+func TestNormalizeDetectsCycle(t *testing.T) {
+	c := &Circuit{Name: "cyc"}
+	c.Nodes = []Node{
+		{Kind: Const0},
+		{Kind: And, Fanins: []int{2, 3}},
+		{Kind: Or, Fanins: []int{1, 3}},
+		{Kind: Input, Name: "a"},
+	}
+	c.Inputs = []int{3}
+	c.Outputs = []int{1}
+	if err := c.Normalize(); err == nil {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestNumGatesExcludesBufAndInputs(t *testing.T) {
+	c := New("g")
+	a := c.AddInput("a")
+	bf := c.AddGate(Buf, a)
+	g := c.AddGate(Not, bf)
+	c.AddOutput(g, "y")
+	if c.NumGates() != 1 {
+		t.Errorf("NumGates = %d, want 1 (buf excluded)", c.NumGates())
+	}
+}

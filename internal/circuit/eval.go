@@ -1,0 +1,149 @@
+package circuit
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Eval evaluates the circuit on a single input pattern. in[i] is the value
+// of the i-th primary input (order of c.Inputs). It returns one value per
+// primary output.
+func (c *Circuit) Eval(in []bool) []bool {
+	if len(in) != len(c.Inputs) {
+		panic(fmt.Sprintf("circuit: Eval got %d inputs, want %d", len(in), len(c.Inputs)))
+	}
+	val := make([]bool, len(c.Nodes))
+	inputPos := make(map[int]int, len(c.Inputs))
+	for i, id := range c.Inputs {
+		inputPos[id] = i
+	}
+	var buf [3]bool
+	for id := 1; id < len(c.Nodes); id++ {
+		nd := &c.Nodes[id]
+		if nd.Kind == Input {
+			val[id] = in[inputPos[id]]
+			continue
+		}
+		args := buf[:len(nd.Fanins)]
+		for j, f := range nd.Fanins {
+			args[j] = val[f]
+		}
+		val[id] = nd.Kind.Eval(args)
+	}
+	out := make([]bool, len(c.Outputs))
+	for i, o := range c.Outputs {
+		out[i] = val[o]
+	}
+	return out
+}
+
+// EvalUint evaluates the circuit on an input pattern given as an unsigned
+// integer whose bit i is the value of input i, and returns the outputs
+// packed the same way (output j in bit j). It panics when the circuit has
+// more than 64 inputs or outputs.
+func (c *Circuit) EvalUint(x uint64) uint64 {
+	if len(c.Inputs) > 64 || len(c.Outputs) > 64 {
+		panic("circuit: EvalUint needs <= 64 inputs and outputs")
+	}
+	in := make([]bool, len(c.Inputs))
+	for i := range in {
+		in[i] = x>>uint(i)&1 == 1
+	}
+	out := c.Eval(in)
+	var y uint64
+	for j, b := range out {
+		if b {
+			y |= 1 << uint(j)
+		}
+	}
+	return y
+}
+
+// EvalBig evaluates the circuit on an input pattern encoded in a big.Int
+// (bit i of x is input i) and returns the outputs as a big.Int (bit j of
+// the result is output j). It supports arbitrary widths.
+func (c *Circuit) EvalBig(x *big.Int) *big.Int {
+	in := make([]bool, len(c.Inputs))
+	for i := range in {
+		in[i] = x.Bit(i) == 1
+	}
+	out := c.Eval(in)
+	y := new(big.Int)
+	for j, b := range out {
+		if b {
+			y.SetBit(y, j, 1)
+		}
+	}
+	return y
+}
+
+// Normalize re-sorts the nodes into a topological order (inputs and the
+// constant first, then gates by dependency). It is needed after parsing
+// formats that permit forward references. The receiver is modified in
+// place. It returns an error when the netlist contains a combinational
+// cycle.
+func (c *Circuit) Normalize() error {
+	n := len(c.Nodes)
+	old2new := make([]int, n)
+	for i := range old2new {
+		old2new[i] = -1
+	}
+	order := make([]int, 0, n)
+	// Iterative DFS with a cycle check (colors: 0 white, 1 gray, 2 black).
+	color := make([]uint8, n)
+	type frame struct {
+		id   int
+		next int
+	}
+	var stack []frame
+	for root := 0; root < n; root++ {
+		if color[root] != 0 {
+			continue
+		}
+		stack = append(stack[:0], frame{root, 0})
+		color[root] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			nd := &c.Nodes[f.id]
+			if f.next < len(nd.Fanins) {
+				ch := nd.Fanins[f.next]
+				f.next++
+				switch color[ch] {
+				case 0:
+					color[ch] = 1
+					stack = append(stack, frame{ch, 0})
+				case 1:
+					return fmt.Errorf("circuit %q: combinational cycle through node %d", c.Name, ch)
+				}
+				continue
+			}
+			color[f.id] = 2
+			order = append(order, f.id)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Rebuild: const0 first, then in DFS finish order.
+	newNodes := make([]Node, 0, n)
+	newNodes = append(newNodes, Node{Kind: Const0})
+	old2new[0] = 0
+	for _, id := range order {
+		if id == 0 {
+			continue
+		}
+		nd := c.Nodes[id]
+		fi := make([]int, len(nd.Fanins))
+		for j, f := range nd.Fanins {
+			fi[j] = old2new[f]
+		}
+		old2new[id] = len(newNodes)
+		newNodes = append(newNodes, Node{Kind: nd.Kind, Fanins: fi, Name: nd.Name})
+	}
+	for i, id := range c.Inputs {
+		c.Inputs[i] = old2new[id]
+	}
+	for i, id := range c.Outputs {
+		c.Outputs[i] = old2new[id]
+	}
+	c.Nodes = newNodes
+	return nil
+}

@@ -1,0 +1,322 @@
+// Package cnf implements Phase 1 of VACSEM: circuit-aware construction of
+// #SAT problems. A circuit (sub-miter) is converted to conjunctive normal
+// form with the consistency function of each gate, while two one-to-one
+// mappings are preserved inside the formula:
+//
+//   - node <-> variable (Formula.VarOfNode / Formula.NodeOfVar), and
+//   - gate <-> clause set (Formula.GateOfClause / Formula.ClausesOfGate).
+//
+// Clause sets are emitted in the topological order of their gates, so the
+// circuit topology survives inside the CNF — exactly what the simulation
+// hook of the solver (Phase 2) needs to map a residual component back to a
+// sub-circuit.
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"vacsem/internal/circuit"
+)
+
+// Lit is a CNF literal: +v for the positive literal of variable v, -v for
+// its negation. Variables are numbered from 1.
+type Lit = int32
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Formula is a CNF formula together with the circuit-topology metadata of
+// Phase 1.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+
+	// Circ is the circuit the formula encodes. Nil for formulas read from
+	// DIMACS (which carry no topology).
+	Circ *circuit.Circuit
+	// VarOfNode maps a node id of Circ to its CNF variable (0 = no var).
+	VarOfNode []int32
+	// NodeOfVar maps a variable (1-based) to the node id (index 0 unused).
+	NodeOfVar []int32
+	// GateOfClause maps a clause index to the node id of the gate whose
+	// consistency function produced it, or -1 for clauses with no gate
+	// (e.g. the output unit clause).
+	GateOfClause []int32
+	// ClausesOfGate maps a node id to the indices of its clauses.
+	ClausesOfGate map[int32][]int32
+}
+
+// addClause appends a clause attributed to gate node `gate` (-1 for none).
+func (f *Formula) addClause(gate int32, lits ...Lit) {
+	cl := make(Clause, len(lits))
+	copy(cl, lits)
+	idx := int32(len(f.Clauses))
+	f.Clauses = append(f.Clauses, cl)
+	f.GateOfClause = append(f.GateOfClause, gate)
+	if gate >= 0 {
+		f.ClausesOfGate[gate] = append(f.ClausesOfGate[gate], idx)
+	}
+}
+
+// Encode converts a single-output circuit into a CNF formula asserting that
+// the output is 1 (the unit clause of Section IV-A). Every node in the
+// transitive fanin of the output receives a variable; nodes outside the
+// cone receive none (callers account for them with a 2^k factor).
+//
+// Buffers are encoded as equivalences. The constant node receives a
+// variable with a negative unit clause only when it is actually referenced
+// inside the cone.
+func Encode(c *circuit.Circuit) (*Formula, error) {
+	if len(c.Outputs) != 1 {
+		return nil, fmt.Errorf("cnf: Encode needs a single-output circuit, got %d outputs", len(c.Outputs))
+	}
+	return encode(c, true)
+}
+
+// EncodeOpen converts the circuit like Encode but without asserting the
+// output unit clause, which is useful for tests and for callers that add
+// their own assumptions.
+func EncodeOpen(c *circuit.Circuit) (*Formula, error) {
+	if len(c.Outputs) == 0 {
+		return nil, fmt.Errorf("cnf: EncodeOpen needs at least one output")
+	}
+	return encode(c, false)
+}
+
+func encode(c *circuit.Circuit, assertOutput bool) (*Formula, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("cnf: %w", err)
+	}
+	mark := c.ConeMark(c.Outputs...)
+	f := &Formula{
+		Circ:          c,
+		VarOfNode:     make([]int32, len(c.Nodes)),
+		NodeOfVar:     make([]int32, 1, len(c.Nodes)+1),
+		ClausesOfGate: make(map[int32][]int32),
+	}
+	f.NodeOfVar[0] = -1
+	newVar := func(node int32) int32 {
+		f.NumVars++
+		v := int32(f.NumVars)
+		f.VarOfNode[node] = v
+		f.NodeOfVar = append(f.NodeOfVar, node)
+		return v
+	}
+	// Assign variables in topological (id) order so clause sets appear in
+	// topological order too.
+	for id := 0; id < len(c.Nodes); id++ {
+		if !mark[id] {
+			continue
+		}
+		v := newVar(int32(id))
+		nd := &c.Nodes[id]
+		switch nd.Kind {
+		case circuit.Input:
+			// no clauses
+		case circuit.Const0:
+			f.addClause(int32(id), -v)
+		default:
+			fi := make([]Lit, len(nd.Fanins))
+			for j, fn := range nd.Fanins {
+				fv := f.VarOfNode[fn]
+				if fv == 0 {
+					return nil, fmt.Errorf("cnf: node %d fanin %d has no variable", id, fn)
+				}
+				fi[j] = fv
+			}
+			emitGate(f, int32(id), v, nd.Kind, fi)
+		}
+	}
+	if assertOutput {
+		ov := f.VarOfNode[c.Outputs[0]]
+		f.addClause(-1, ov)
+	}
+	return f, nil
+}
+
+// emitGate appends the consistency-function clauses of one gate:
+// clauses that hold iff n <-> kind(fanins).
+func emitGate(f *Formula, gate int32, n Lit, k circuit.Kind, in []Lit) {
+	switch k {
+	case circuit.Buf:
+		a := in[0]
+		f.addClause(gate, -a, n)
+		f.addClause(gate, a, -n)
+	case circuit.Not:
+		a := in[0]
+		f.addClause(gate, a, n)
+		f.addClause(gate, -a, -n)
+	case circuit.And:
+		a, b := in[0], in[1]
+		f.addClause(gate, a, -n)
+		f.addClause(gate, b, -n)
+		f.addClause(gate, -a, -b, n)
+	case circuit.Nand:
+		a, b := in[0], in[1]
+		f.addClause(gate, a, n)
+		f.addClause(gate, b, n)
+		f.addClause(gate, -a, -b, -n)
+	case circuit.Or:
+		a, b := in[0], in[1]
+		f.addClause(gate, -a, n)
+		f.addClause(gate, -b, n)
+		f.addClause(gate, a, b, -n)
+	case circuit.Nor:
+		a, b := in[0], in[1]
+		f.addClause(gate, -a, -n)
+		f.addClause(gate, -b, -n)
+		f.addClause(gate, a, b, n)
+	case circuit.Xor:
+		a, b := in[0], in[1]
+		f.addClause(gate, -a, -b, -n)
+		f.addClause(gate, a, b, -n)
+		f.addClause(gate, a, -b, n)
+		f.addClause(gate, -a, b, n)
+	case circuit.Xnor:
+		a, b := in[0], in[1]
+		f.addClause(gate, -a, -b, n)
+		f.addClause(gate, a, b, n)
+		f.addClause(gate, a, -b, -n)
+		f.addClause(gate, -a, b, -n)
+	case circuit.Mux:
+		s, a, b := in[0], in[1], in[2]
+		f.addClause(gate, -s, -b, n)
+		f.addClause(gate, -s, b, -n)
+		f.addClause(gate, s, -a, n)
+		f.addClause(gate, s, a, -n)
+	case circuit.Maj:
+		a, b, c := in[0], in[1], in[2]
+		f.addClause(gate, -a, -b, n)
+		f.addClause(gate, -a, -c, n)
+		f.addClause(gate, -b, -c, n)
+		f.addClause(gate, a, b, -n)
+		f.addClause(gate, a, c, -n)
+		f.addClause(gate, b, c, -n)
+	default:
+		panic("cnf: emitGate on " + k.String())
+	}
+}
+
+// NumEncodedInputs returns the number of primary inputs of the circuit
+// that received variables (inputs inside the encoded cone).
+func (f *Formula) NumEncodedInputs() int {
+	if f.Circ == nil {
+		return 0
+	}
+	n := 0
+	for _, id := range f.Circ.Inputs {
+		if f.VarOfNode[id] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteDIMACS writes the formula in DIMACS cnf format.
+func (f *Formula) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	for _, cl := range f.Clauses {
+		for _, l := range cl {
+			bw.WriteString(strconv.Itoa(int(l)))
+			bw.WriteByte(' ')
+		}
+		bw.WriteString("0\n")
+	}
+	return bw.Flush()
+}
+
+// ParseDIMACS reads a DIMACS cnf file. The resulting formula has no
+// circuit metadata (Circ is nil); it can be counted with the DPLL engine
+// but not with the simulation hook.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	f := &Formula{ClausesOfGate: make(map[int32][]int32)}
+	declared := -1
+	var cur Clause
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == 'c' {
+			continue
+		}
+		if line[0] == 'p' {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: bad problem line %q", line)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("cnf: bad var count in %q", line)
+			}
+			nc, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("cnf: bad clause count in %q", line)
+			}
+			f.NumVars = nv
+			declared = nc
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: bad literal %q", tok)
+			}
+			if v == 0 {
+				cl := make(Clause, len(cur))
+				copy(cl, cur)
+				f.Clauses = append(f.Clauses, cl)
+				f.GateOfClause = append(f.GateOfClause, -1)
+				cur = cur[:0]
+				continue
+			}
+			if v > f.NumVars || -v > f.NumVars {
+				return nil, fmt.Errorf("cnf: literal %d exceeds declared %d vars", v, f.NumVars)
+			}
+			cur = append(cur, Lit(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) != 0 {
+		return nil, fmt.Errorf("cnf: trailing clause without terminating 0")
+	}
+	if declared >= 0 && declared != len(f.Clauses) {
+		return nil, fmt.Errorf("cnf: declared %d clauses, found %d", declared, len(f.Clauses))
+	}
+	return f, nil
+}
+
+// String renders a compact human-readable form, mainly for tests.
+func (f *Formula) String() string {
+	var b strings.Builder
+	for i, cl := range f.Clauses {
+		if i > 0 {
+			b.WriteString(" & ")
+		}
+		b.WriteByte('(')
+		for j, l := range cl {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			if l < 0 {
+				b.WriteByte('~')
+			}
+			fmt.Fprintf(&b, "v%d", abs32(l))
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,282 @@
+package cnf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/testutil"
+)
+
+// bruteCountCNF counts satisfying assignments of a formula by enumerating
+// all 2^NumVars assignments (tiny formulas only).
+func bruteCountCNF(f *Formula) uint64 {
+	if f.NumVars > 20 {
+		panic("bruteCountCNF too large")
+	}
+	var count uint64
+patterns:
+	for x := uint64(0); x < 1<<uint(f.NumVars); x++ {
+		for _, cl := range f.Clauses {
+			sat := false
+			for _, l := range cl {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				val := x>>(uint(v)-1)&1 == 1
+				if (l > 0) == val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				continue patterns
+			}
+		}
+		count++
+	}
+	return count
+}
+
+func TestEncodeRequiresSingleOutput(t *testing.T) {
+	c := testutil.RandomCircuit(3, 5, 2, 1)
+	if _, err := Encode(c); err == nil {
+		t.Error("Encode must reject multi-output circuits")
+	}
+	if _, err := EncodeOpen(circuit.New("empty")); err == nil {
+		t.Error("EncodeOpen must reject output-less circuits")
+	}
+}
+
+// TestEncodeModelCountEqualsPatternCount is the fundamental Tseitin
+// property: #SAT over all variables == #input patterns with output 1.
+func TestEncodeModelCountEqualsPatternCount(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		c := testutil.RandomCircuit(2+int(seed%4), 3+int(seed%8), 1, seed)
+		f, err := Encode(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.NumVars > 18 {
+			continue
+		}
+		got := bruteCountCNF(f)
+		// Brute-force input patterns restricted to the encoded cone.
+		want := testutil.CountOnesBrute(c)[0]
+		// Scale down by inputs outside the cone: brute counts over all
+		// inputs, the CNF only over encoded ones.
+		extra := c.NumInputs() - f.NumEncodedInputs()
+		want >>= uint(extra)
+		if got != want {
+			t.Fatalf("seed %d: CNF models %d, pattern count %d", seed, got, want)
+		}
+	}
+}
+
+func TestGateClauseMapsAreConsistent(t *testing.T) {
+	c := testutil.RandomCircuit(5, 20, 1, 7)
+	f, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every clause's gate must list the clause back (except -1 clauses).
+	for ci, g := range f.GateOfClause {
+		if g < 0 {
+			continue
+		}
+		found := false
+		for _, c2 := range f.ClausesOfGate[g] {
+			if int(c2) == ci {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("clause %d not listed under gate %d", ci, g)
+		}
+	}
+	// Every clause of a gate must contain the gate's variable.
+	for g, cls := range f.ClausesOfGate {
+		v := f.VarOfNode[g]
+		for _, ci := range cls {
+			has := false
+			for _, l := range f.Clauses[ci] {
+				if l == v || l == -v {
+					has = true
+					break
+				}
+			}
+			if !has {
+				t.Fatalf("gate %d clause %d lacks the gate literal", g, ci)
+			}
+		}
+	}
+	// Node<->var maps are mutually inverse.
+	for node, v := range f.VarOfNode {
+		if v == 0 {
+			continue
+		}
+		if int(f.NodeOfVar[v]) != node {
+			t.Fatalf("NodeOfVar[VarOfNode[%d]] = %d", node, f.NodeOfVar[v])
+		}
+	}
+}
+
+func TestClauseSetsInTopologicalOrder(t *testing.T) {
+	c := testutil.RandomCircuit(5, 25, 1, 3)
+	f, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := int32(-1)
+	for _, g := range f.GateOfClause {
+		if g < 0 {
+			continue
+		}
+		if g < last {
+			t.Fatalf("clause sets not in topological order: gate %d after %d", g, last)
+		}
+		last = g
+	}
+}
+
+func TestEncodeOutputUnitClause(t *testing.T) {
+	c := circuit.New("u")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.AddGate(And, a, b)
+	c.AddOutput(g, "y")
+	f, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastClause := f.Clauses[len(f.Clauses)-1]
+	if len(lastClause) != 1 || lastClause[0] != f.VarOfNode[g] {
+		t.Errorf("missing output unit clause: %v", lastClause)
+	}
+	if f.GateOfClause[len(f.Clauses)-1] != -1 {
+		t.Errorf("output unit clause must carry no gate")
+	}
+	fo, err := EncodeOpen(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fo.Clauses) != len(f.Clauses)-1 {
+		t.Errorf("EncodeOpen should have one clause fewer")
+	}
+}
+
+// And is re-exported here only to keep the test self-contained.
+const And = circuit.And
+
+func TestEncodeSkipsNodesOutsideCone(t *testing.T) {
+	c := circuit.New("cone")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.AddGate(circuit.And, a, b)
+	c.AddGate(circuit.Or, a, b) // dangling
+	c.AddOutput(g, "y")
+	f, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 { // a, b, g — not the Or, not const0
+		t.Errorf("NumVars = %d, want 3", f.NumVars)
+	}
+	if f.NumEncodedInputs() != 2 {
+		t.Errorf("NumEncodedInputs = %d", f.NumEncodedInputs())
+	}
+}
+
+func TestConstInCone(t *testing.T) {
+	c := circuit.New("k")
+	a := c.AddInput("a")
+	one := c.Const1()
+	g := c.AddGate(circuit.And, a, one)
+	c.AddOutput(g, "y")
+	f, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// const0 must have a negative unit clause.
+	v0 := f.VarOfNode[0]
+	if v0 == 0 {
+		t.Fatal("const0 not encoded although in cone")
+	}
+	found := false
+	for _, cl := range f.Clauses {
+		if len(cl) == 1 && cl[0] == -v0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing unit clause for const0")
+	}
+	if got := bruteCountCNF(f); got != 1 {
+		t.Errorf("count = %d, want 1 (a=1)", got)
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	c := testutil.RandomCircuit(4, 12, 1, 9)
+	f, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			g.NumVars, len(g.Clauses), f.NumVars, len(f.Clauses))
+	}
+	if f.NumVars <= 18 && bruteCountCNF(f) != bruteCountCNF(g) {
+		t.Error("round trip changed the model count")
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"p cnf x 2\n1 0\n2 0\n",
+		"p cnf 2 2\n1 0\n",   // clause count mismatch
+		"p cnf 1 1\n2 0\n",   // literal out of range
+		"p cnf 1 1\n1\n",     // missing terminator
+		"p wrong 1 1\n1 0\n", // bad format tag
+	}
+	for i, s := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "c comment\n\np cnf 2 1\n1 -2 0\n"
+	f, err := ParseDIMACS(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("valid DIMACS rejected: %v", err)
+	}
+	if f.NumVars != 2 || len(f.Clauses) != 1 {
+		t.Error("parsed formula wrong")
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	c := circuit.New("s")
+	a := c.AddInput("a")
+	g := c.AddGate(circuit.Not, a)
+	c.AddOutput(g, "y")
+	f, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.String()
+	if !strings.Contains(s, "v1") || !strings.Contains(s, "~") {
+		t.Errorf("String output unexpected: %s", s)
+	}
+}

@@ -1,0 +1,382 @@
+// Package core orchestrates average-error verification: it ties together
+// the approximation miters (Section II-B), Phase 1 (circuit-aware CNF
+// construction: split, synthesize, encode) and Phase 2 (the
+// simulation-enhanced model counter) into the metric-level API of the
+// paper — plus the two baselines the paper compares against: the plain
+// DPLL counter (the GANAK role) and exhaustive enumeration.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/bits"
+	"time"
+
+	"vacsem/internal/bdd"
+	"vacsem/internal/circuit"
+	"vacsem/internal/cnf"
+	"vacsem/internal/counter"
+	"vacsem/internal/miter"
+	"vacsem/internal/sim"
+	"vacsem/internal/synth"
+)
+
+// Method selects the verification engine.
+type Method int
+
+const (
+	// MethodVACSEM is the paper's contribution: the DPLL model counter
+	// with the simulation hook and dynamic controller enabled.
+	MethodVACSEM Method = iota
+	// MethodDPLL is the same counter with simulation disabled — the role
+	// GANAK plays in the paper's comparisons.
+	MethodDPLL
+	// MethodEnum is exhaustive word-parallel logic simulation of the
+	// miter over all 2^I input patterns.
+	MethodEnum
+	// MethodBDD is the prior-art decision-diagram approach ([3]-[6] in
+	// the paper): build ROBDDs of the deviation bits and count over the
+	// diagrams. It fails with ErrBDDTooLarge when the diagram explodes —
+	// the scalability wall the paper's footnote 2 describes.
+	MethodBDD
+)
+
+// String returns the method name used in reports.
+func (m Method) String() string {
+	switch m {
+	case MethodVACSEM:
+		return "vacsem"
+	case MethodDPLL:
+		return "dpll"
+	case MethodEnum:
+		return "enum"
+	case MethodBDD:
+		return "bdd"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// ErrTimeout is returned when the configured time limit expires before
+// verification completes.
+var ErrTimeout = errors.New("core: time limit exceeded")
+
+// ErrTooLarge is returned by MethodEnum when the input space exceeds the
+// enumeration capability (more than 62 inputs).
+var ErrTooLarge = errors.New("core: input space too large for enumeration")
+
+// ErrBDDTooLarge is returned by MethodBDD when the decision diagram
+// exceeds the node budget (Options.BDDNodeLimit).
+var ErrBDDTooLarge = bdd.ErrNodeLimit
+
+// Options configures a verification run. The zero value uses MethodVACSEM
+// with synthesis enabled and no time limit.
+type Options struct {
+	Method Method
+	// NoSynth skips the per-sub-miter synthesis (compress) step.
+	NoSynth bool
+	// TimeLimit bounds the entire verification (all sub-miters). 0 = none.
+	TimeLimit time.Duration
+	// Alpha overrides the density-score scaling factor (default 2).
+	Alpha float64
+	// MaxSimVars overrides the simulation input cap (default 26).
+	MaxSimVars int
+	// DisableCache turns off component caching (ablation).
+	DisableCache bool
+	// DisableIBCP turns off failed-literal probing (ablation).
+	DisableIBCP bool
+	// DisableLearning turns off conflict-driven clause learning (ablation).
+	DisableLearning bool
+	// MinSimGates overrides the minimum sub-circuit size the controller
+	// hands to the simulator (default 24).
+	MinSimGates int
+	// BDDNodeLimit caps the decision-diagram size for MethodBDD
+	// (default 1<<22 nodes).
+	BDDNodeLimit int
+}
+
+// SubResult reports one sub-miter's #SAT problem.
+type SubResult struct {
+	Output      string
+	Count       *big.Int // patterns (over all 2^I inputs) setting the bit
+	Weight      *big.Int
+	NodesBefore int
+	NodesAfter  int // after synthesis
+	Runtime     time.Duration
+	Stats       counter.Stats
+	Trivial     bool // solved by constant propagation alone
+}
+
+// Result reports a verified metric.
+type Result struct {
+	Metric    string
+	Method    Method
+	Value     *big.Rat // the metric value (e.g. ER in [0,1], MED >= 0)
+	Count     *big.Int // weighted pattern count (the numerator of Value)
+	NumInputs int
+	Runtime   time.Duration
+	Subs      []SubResult
+}
+
+// Float returns the metric value as a float64 (inexact for huge MEDs).
+func (r *Result) Float() float64 {
+	f, _ := r.Value.Float64()
+	return f
+}
+
+// VerifyER verifies the error rate (Eq. 2): the fraction of input
+// patterns on which the approximate circuit's outputs differ from the
+// exact circuit's.
+func VerifyER(exact, approx *circuit.Circuit, opt Options) (*Result, error) {
+	m, err := miter.ER(exact, approx)
+	if err != nil {
+		return nil, err
+	}
+	return verifyMiter("ER", m, uniformWeights(1), opt)
+}
+
+// VerifyMED verifies the mean error distance (Eq. 4): the average of
+// |int(y) - int(y')| over all input patterns, treating outputs as
+// unsigned binary numbers, LSB first.
+func VerifyMED(exact, approx *circuit.Circuit, opt Options) (*Result, error) {
+	m, err := miter.MED(exact, approx)
+	if err != nil {
+		return nil, err
+	}
+	return verifyMiter("MED", m, powerWeights(m.NumOutputs()), opt)
+}
+
+// VerifyMHD verifies the mean Hamming distance: the average number of
+// output bits on which the circuits disagree.
+func VerifyMHD(exact, approx *circuit.Circuit, opt Options) (*Result, error) {
+	m, err := miter.HD(exact, approx)
+	if err != nil {
+		return nil, err
+	}
+	return verifyMiter("MHD", m, uniformWeights(m.NumOutputs()), opt)
+}
+
+// VerifyThresholdProb verifies P(|int(y) - int(y')| > t), the probability
+// that the deviation exceeds a threshold (the MACACO-style metric).
+func VerifyThresholdProb(exact, approx *circuit.Circuit, t *big.Int, opt Options) (*Result, error) {
+	m, err := miter.Threshold(exact, approx, t)
+	if err != nil {
+		return nil, err
+	}
+	r, err := verifyMiter("P(dev>t)", m, uniformWeights(1), opt)
+	if err != nil {
+		return nil, err
+	}
+	r.Metric = fmt.Sprintf("P(dev>%v)", t)
+	return r, nil
+}
+
+// VerifyMiter verifies a user-supplied deviation miter: the metric value
+// is sum_j weight_j * P(output_j = 1). This is the extension point for
+// custom average-error metrics (Section II-A: "other average error
+// metrics can also be converted into #SAT problems similarly").
+func VerifyMiter(name string, m *circuit.Circuit, weights []*big.Int, opt Options) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(weights) != m.NumOutputs() {
+		return nil, fmt.Errorf("core: %d weights for %d outputs", len(weights), m.NumOutputs())
+	}
+	return verifyMiter(name, m, weights, opt)
+}
+
+func uniformWeights(n int) []*big.Int {
+	w := make([]*big.Int, n)
+	for i := range w {
+		w[i] = big.NewInt(1)
+	}
+	return w
+}
+
+func powerWeights(n int) []*big.Int {
+	w := make([]*big.Int, n)
+	for i := range w {
+		w[i] = new(big.Int).Lsh(big.NewInt(1), uint(i))
+	}
+	return w
+}
+
+func verifyMiter(metric string, m *circuit.Circuit, weights []*big.Int, opt Options) (*Result, error) {
+	start := time.Now()
+	var deadline time.Time
+	if opt.TimeLimit > 0 {
+		deadline = start.Add(opt.TimeLimit)
+	}
+	res := &Result{
+		Metric:    metric,
+		Method:    opt.Method,
+		NumInputs: m.NumInputs(),
+		Count:     new(big.Int),
+	}
+	switch {
+	case opt.Method == MethodEnum:
+		if err := enumMiter(m, weights, res, deadline); err != nil {
+			return nil, err
+		}
+	case opt.Method == MethodBDD:
+		if err := bddMiter(m, weights, res, opt); err != nil {
+			return nil, err
+		}
+	default:
+		// Compress the whole miter once before splitting: the deviation
+		// bits share most of their logic (both circuit copies plus the
+		// subtractor), so per-sub-miter synthesis converges in one cheap
+		// pass afterwards.
+		work := m
+		if !opt.NoSynth {
+			work = synth.Compress(m)
+		}
+		subs := miter.Split(work)
+		for j, sub := range subs {
+			sr, err := solveSub(work, sub, j, weights[j], opt, deadline)
+			if err != nil {
+				return nil, err
+			}
+			res.Subs = append(res.Subs, sr)
+			var weighted big.Int
+			weighted.Mul(sr.Count, sr.Weight)
+			res.Count.Add(res.Count, &weighted)
+		}
+	}
+	res.Runtime = time.Since(start)
+	denom := new(big.Int).Lsh(big.NewInt(1), uint(m.NumInputs()))
+	res.Value = new(big.Rat).SetFrac(new(big.Int).Set(res.Count), denom)
+	return res, nil
+}
+
+// solveSub runs Phase 1 + Phase 2 on one single-output sub-miter.
+func solveSub(m, sub *circuit.Circuit, j int, weight *big.Int, opt Options, deadline time.Time) (SubResult, error) {
+	subStart := time.Now()
+	sr := SubResult{
+		Output:      m.OutputName(j),
+		Weight:      weight,
+		NodesBefore: sub.NumGates(),
+	}
+	if !opt.NoSynth {
+		sub = synth.Compress(sub)
+	}
+	sr.NodesAfter = sub.NumGates()
+	totalInputs := m.NumInputs()
+	// Trivial outcomes after constant propagation.
+	out := sub.Outputs[0]
+	switch {
+	case out == 0:
+		sr.Count = new(big.Int)
+		sr.Trivial = true
+	case sub.Nodes[out].Kind == circuit.Not && sub.Nodes[out].Fanins[0] == 0:
+		sr.Count = new(big.Int).Lsh(big.NewInt(1), uint(totalInputs))
+		sr.Trivial = true
+	case sub.Nodes[out].Kind == circuit.Input:
+		// Output is a bare input: exactly half the patterns.
+		sr.Count = new(big.Int).Lsh(big.NewInt(1), uint(totalInputs-1))
+		sr.Trivial = true
+	default:
+		f, err := cnf.Encode(sub)
+		if err != nil {
+			return sr, err
+		}
+		cfg := counter.Config{
+			EnableSim:       opt.Method == MethodVACSEM,
+			Alpha:           opt.Alpha,
+			MaxSimVars:      opt.MaxSimVars,
+			MinSimGates:     opt.MinSimGates,
+			DisableCache:    opt.DisableCache,
+			DisableIBCP:     opt.DisableIBCP,
+			DisableLearning: opt.DisableLearning,
+		}
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				return sr, ErrTimeout
+			}
+			cfg.TimeLimit = rem
+		}
+		s := counter.New(f, cfg)
+		cnt, err := s.Count()
+		if err != nil {
+			return sr, ErrTimeout
+		}
+		sr.Stats = s.Stats()
+		// Scale by inputs outside the encoded cone.
+		extra := totalInputs - f.NumEncodedInputs()
+		sr.Count = new(big.Int).Lsh(cnt, uint(extra))
+	}
+	sr.Runtime = time.Since(subStart)
+	return sr, nil
+}
+
+// bddMiter verifies through decision diagrams: synthesize the miter,
+// build one ROBDD per deviation bit, and count over the diagrams — the
+// prior-art flow of the paper's references [3]-[6]. Explosion surfaces
+// as ErrBDDTooLarge.
+func bddMiter(m *circuit.Circuit, weights []*big.Int, res *Result, opt Options) error {
+	work := m
+	if !opt.NoSynth {
+		work = synth.Compress(m)
+	}
+	mgr := bdd.New(work.NumInputs(), opt.BDDNodeLimit)
+	outs, err := mgr.BuildOutputsOrdered(work, bdd.DFSOrder(work))
+	if err != nil {
+		return err
+	}
+	for j, f := range outs {
+		c := mgr.CountOnes(f)
+		res.Subs = append(res.Subs, SubResult{
+			Output: m.OutputName(j),
+			Count:  c,
+			Weight: weights[j],
+		})
+		var weighted big.Int
+		weighted.Mul(c, weights[j])
+		res.Count.Add(res.Count, &weighted)
+	}
+	return nil
+}
+
+// enumMiter exhaustively simulates the miter over all 2^I patterns,
+// accumulating per-output one-counts and combining them with the weights.
+func enumMiter(m *circuit.Circuit, weights []*big.Int, res *Result, deadline time.Time) error {
+	nIn := m.NumInputs()
+	if nIn > 62 {
+		return ErrTooLarge
+	}
+	total := uint64(1) << uint(nIn)
+	blocks := (total + 63) / 64
+	if blocks == 0 {
+		blocks = 1
+	}
+	eng := sim.NewEngine(m)
+	in := make([]uint64, nIn)
+	counts := make([]uint64, m.NumOutputs())
+	for b := uint64(0); b < blocks; b++ {
+		if !deadline.IsZero() && b&1023 == 0 && time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		for i := 0; i < nIn; i++ {
+			in[i] = sim.InputWord(i, b)
+		}
+		eng.Run(in)
+		mask := sim.BlockMask(b, total)
+		for j := range counts {
+			counts[j] += uint64(bits.OnesCount64(eng.Out(j) & mask))
+		}
+	}
+	for j, cnt := range counts {
+		c := new(big.Int).SetUint64(cnt)
+		res.Subs = append(res.Subs, SubResult{
+			Output: m.OutputName(j),
+			Count:  c,
+			Weight: weights[j],
+		})
+		var weighted big.Int
+		weighted.Mul(c, weights[j])
+		res.Count.Add(res.Count, &weighted)
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package counter
+
+import (
+	"encoding/binary"
+	"math/big"
+	"sort"
+)
+
+// component is a maximal set of free variables connected through active
+// (not-yet-satisfied) clauses, together with those clauses. Components
+// share no variables, so their counts multiply (Algorithm 1, line 11).
+type component struct {
+	vars    []int32 // free variables, sorted
+	clauses []int32 // active clause indices, sorted
+}
+
+// findComponents partitions the given candidate variables into connected
+// components of the residual formula. Variables that are unassigned but
+// appear in no active clause are unconstrained; their number is returned
+// as freeCount (each contributes a factor of 2).
+func (s *Solver) findComponents(vars []int32) (comps []*component, freeCount int) {
+	s.stamp++
+	stamp := s.stamp
+	var queue []int32
+	for _, v0 := range vars {
+		if s.assign[v0] != unassigned || s.varSeen[v0] == stamp {
+			continue
+		}
+		// Does v0 touch any active clause?
+		if !s.hasActiveClause(v0) {
+			s.varSeen[v0] = stamp
+			freeCount++
+			continue
+		}
+		comp := &component{}
+		s.varSeen[v0] = stamp
+		queue = append(queue[:0], v0)
+		comp.vars = append(comp.vars, v0)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for pass := 0; pass < 2; pass++ {
+				var li int32
+				if pass == 0 {
+					li = 2 * v
+				} else {
+					li = 2*v + 1
+				}
+				for _, ci := range s.occ[li] {
+					// Learned clauses are implied by the original formula:
+					// they never constrain counts, so they stay invisible
+					// to component analysis.
+					if ci >= s.nOrig || s.nTrue[ci] != 0 || s.clSeen[ci] == stamp {
+						continue
+					}
+					s.clSeen[ci] = stamp
+					comp.clauses = append(comp.clauses, ci)
+					for _, l := range s.clauses[ci] {
+						w := litVar(l)
+						if s.assign[w] != unassigned || s.varSeen[w] == stamp {
+							continue
+						}
+						s.varSeen[w] = stamp
+						comp.vars = append(comp.vars, w)
+						queue = append(queue, w)
+					}
+				}
+			}
+		}
+		sort.Slice(comp.vars, func(i, j int) bool { return comp.vars[i] < comp.vars[j] })
+		sort.Slice(comp.clauses, func(i, j int) bool { return comp.clauses[i] < comp.clauses[j] })
+		comps = append(comps, comp)
+	}
+	return comps, freeCount
+}
+
+func (s *Solver) hasActiveClause(v int32) bool {
+	for _, ci := range s.occ[2*v] {
+		if ci < s.nOrig && s.nTrue[ci] == 0 {
+			return true
+		}
+	}
+	for _, ci := range s.occ[2*v+1] {
+		if ci < s.nOrig && s.nTrue[ci] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// cacheKey canonicalizes the residual component: the sorted active clause
+// ids plus, per clause, the bitmask of literal positions still free. Two
+// occurrences with equal keys denote literally identical residual
+// subformulas, so caching on this key is sound.
+func (s *Solver) cacheKey(comp *component) string {
+	buf := make([]byte, 0, 5*len(comp.clauses))
+	var tmp [4]byte
+	for _, ci := range comp.clauses {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(ci))
+		buf = append(buf, tmp[0], tmp[1], tmp[2], tmp[3])
+		var mask byte
+		for pos, l := range s.clauses[ci] {
+			if s.assign[litVar(l)] == unassigned {
+				mask |= 1 << uint(pos)
+			}
+		}
+		buf = append(buf, mask)
+	}
+	return string(buf)
+}
+
+// solveComponent counts the models of one residual component, consulting
+// the cache and the simulation controller first (Algorithm 1 lines 1-2),
+// then falling back to DPLL branching (lines 3-14). It returns nil when
+// the time limit expired.
+func (s *Solver) solveComponent(comp *component) *big.Int {
+	if s.checkAbort() {
+		return nil
+	}
+	s.stats.Components++
+	var key string
+	if !s.cfg.DisableCache {
+		key = s.cacheKey(comp)
+		if v, ok := s.cache[key]; ok {
+			s.stats.CacheHits++
+			return v
+		}
+	}
+	if cnt, ok := s.trySimulate(comp); ok {
+		s.cacheStore(key, cnt)
+		return cnt
+	}
+	cnt := s.branchCount(comp)
+	if cnt != nil {
+		s.cacheStore(key, cnt)
+	}
+	return cnt
+}
+
+// cacheStore memoizes a component count, clearing the cache wholesale
+// when it outgrows the configured bound (exactness is unaffected).
+func (s *Solver) cacheStore(key string, cnt *big.Int) {
+	if s.cfg.DisableCache {
+		return
+	}
+	if len(s.cache) >= s.cfg.MaxCacheEntries {
+		s.cache = make(map[string]*big.Int)
+	}
+	s.cache[key] = cnt
+	s.stats.CacheStores++
+}
+
+// branchCount implements the DPLL part: pick a decision variable, count
+// both phases, decompose the simplified formula, and sum.
+func (s *Solver) branchCount(comp *component) *big.Int {
+	v := s.pickVar(comp)
+	s.stats.Decisions++
+	total := big.NewInt(0)
+	for _, lit := range [2]int32{v, -v} {
+		mark := len(s.trail)
+		s.curLevel++
+		s.propQ = append(s.propQ, propItem{lit, reasonDecision})
+		if s.propagate() && (s.cfg.DisableIBCP || s.failedLiteralFixpoint(comp.vars)) {
+			sub := big.NewInt(1)
+			comps, freeCount := s.findComponents(comp.vars)
+			sub.Lsh(sub, uint(freeCount))
+			for _, sc := range comps {
+				r := s.solveComponent(sc)
+				if r == nil {
+					s.undoTo(mark)
+					s.curLevel--
+					return nil
+				}
+				sub.Mul(sub, r)
+				if sub.Sign() == 0 {
+					break
+				}
+			}
+			total.Add(total, sub)
+		}
+		s.undoTo(mark)
+		s.curLevel--
+	}
+	return total
+}
+
+// pickVar returns the component variable appearing in the most active
+// clauses, weighting short clauses higher (a VSADS-flavoured static score
+// recomputed per component, which adapts dynamically as the residual
+// formula shrinks).
+func (s *Solver) pickVar(comp *component) int32 {
+	best := comp.vars[0]
+	bestScore := -1
+	// Score per variable: sum over active clauses of 1, weighted 4 for
+	// binary residual clauses (they propagate immediately when decided).
+	score := make(map[int32]int, len(comp.vars))
+	for _, ci := range comp.clauses {
+		w := 1
+		if int32(len(s.clauses[ci]))-s.nFalse[ci] == 2 {
+			w = 4
+		}
+		for _, l := range s.clauses[ci] {
+			x := litVar(l)
+			if s.assign[x] == unassigned {
+				score[x] += w
+			}
+		}
+	}
+	for _, v := range comp.vars {
+		if sc := score[v]; sc > bestScore {
+			bestScore = sc
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,486 @@
+// Package counter implements the simulation-enhanced exact model counter
+// of VACSEM (Phase 2 of the paper, Algorithm 1).
+//
+// The engine is a DPLL-style #SAT solver with counting unit propagation,
+// connected-component decomposition, component caching and a dynamic
+// branching heuristic — the algorithm family of sharpSAT/GANAK. On top of
+// it sits the paper's contribution: before branching on a residual
+// component, a dynamic controller inspects the component's corresponding
+// sub-circuit (recovered through the clause->gate map built in Phase 1)
+// and, when the sub-circuit is dense (density score alpha*G/K^2 > 1),
+// counts its models by word-parallel circuit simulation instead of search.
+//
+// Counts are exact and returned as math/big integers, so circuits with
+// hundreds of inputs (e.g. 128-bit adders, 2^256 patterns) are supported.
+package counter
+
+import (
+	"errors"
+	"math/big"
+	"time"
+
+	"vacsem/internal/cnf"
+)
+
+// ErrTimeout is returned by Count when the configured time limit expires.
+var ErrTimeout = errors.New("counter: time limit exceeded")
+
+// Config tunes the solver. The zero value is usable: it disables the
+// simulation hook and runs the plain DPLL counting engine (the paper's
+// "GANAK" baseline role).
+type Config struct {
+	// EnableSim activates the simulation hook (VACSEM mode). It requires
+	// the formula to carry circuit metadata (cnf.Encode output).
+	EnableSim bool
+	// Alpha is the scaling factor of the density score
+	// alpha * gates / PIs^2 (Eq. 5 of the paper). 0 means the paper's
+	// default of 2.
+	Alpha float64
+	// MaxSimVars caps the number of free sub-circuit inputs K the
+	// simulator will enumerate (2^K patterns). 0 means the default of 26.
+	MaxSimVars int
+	// MinSimGates is the minimum sub-circuit size worth simulating
+	// (default 24): tiny dense components are solved just as fast by
+	// branching with component caching, and branching also feeds clause
+	// learning, so handing them to the simulator hurts overall search.
+	MinSimGates int
+	// DisableCache turns off component caching (for ablation studies).
+	DisableCache bool
+	// DisableIBCP turns off implicit BCP (failed-literal probing), the
+	// sharpSAT/GANAK preprocessing both our engines use by default.
+	DisableIBCP bool
+	// DisableLearning turns off conflict-driven clause learning.
+	// Learned clauses are consequences of the original formula, so they
+	// prune search in every engine without affecting counts; they are
+	// excluded from component analysis and cache keys (the standard
+	// sharpSAT treatment).
+	DisableLearning bool
+	// MaxLearned caps the learned-clause database (default 100000).
+	MaxLearned int
+	// MaxCacheEntries bounds the component cache (default 4 million
+	// entries). When the bound is hit the cache is cleared wholesale —
+	// counts stay exact, only reuse is lost — so memory stays bounded on
+	// adversarial instances.
+	MaxCacheEntries int
+	// TimeLimit aborts the count after the given duration. 0 = unlimited.
+	TimeLimit time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Alpha == 0 {
+		out.Alpha = 2
+	}
+	if out.MaxSimVars == 0 {
+		out.MaxSimVars = 26
+	}
+	if out.MinSimGates == 0 {
+		out.MinSimGates = 24
+	}
+	if out.MaxLearned == 0 {
+		out.MaxLearned = 100000
+	}
+	if out.MaxCacheEntries == 0 {
+		out.MaxCacheEntries = 4 << 20
+	}
+	return out
+}
+
+// Stats reports the work performed by one Count call.
+type Stats struct {
+	Decisions    uint64 // branching decisions
+	Propagations uint64 // literals assigned by BCP
+	Components   uint64 // residual components solved
+	CacheHits    uint64
+	CacheStores  uint64
+	SimCalls     uint64 // components counted by simulation
+	SimRejected  uint64 // components where the controller declined
+	SimPatterns  uint64 // total patterns simulated
+	// FailedLiterals counts literals forced by implicit BCP.
+	FailedLiterals uint64
+	// Learned counts clauses added by conflict analysis.
+	Learned uint64
+}
+
+const (
+	unassigned int8 = -1
+)
+
+// Solver counts the models of one CNF formula. It is single-use per
+// formula but Count may be called repeatedly (state resets each call).
+type Solver struct {
+	f   *cnf.Formula
+	cfg Config
+
+	nVars   int
+	nOrig   int32 // number of original (non-learned) clauses
+	clauses []cnf.Clause
+	occ     [][]int32 // literal index (2v / 2v+1) -> clause ids
+	assign  []int8    // var -> unassigned/0/1
+	trail   []int32   // assigned literals in order
+	nTrue   []int32   // clause -> count of satisfied literals
+	nFalse  []int32   // clause -> count of falsified literals
+	propQ   []propItem
+
+	// clause-learning state
+	reason     []int32 // var -> clause that propagated it (reasonDecision/reasonAsserted)
+	level      []int32 // var -> decision level at assignment
+	curLevel   int32
+	conflictCl int32 // last conflicting clause, -1 if none
+	learned    int   // learned-clause count
+
+	// component discovery scratch (stamp-based visited marks)
+	stamp   uint32
+	varSeen []uint32
+	clSeen  []uint32
+
+	// cache
+	cache map[string]*big.Int
+
+	// sim hook scratch
+	simVals   []uint64
+	gateSeen  []uint32
+	nodeSeen  []uint32
+	compClSet []uint32 // stamp: clause belongs to current component
+
+	stats    Stats
+	deadline time.Time
+	hasLimit bool
+	aborted  bool
+	ticks    uint32
+}
+
+// propItem is one queued propagation with its antecedent.
+type propItem struct {
+	lit    int32
+	reason int32
+}
+
+// Pseudo-reasons for assignments with no antecedent clause.
+const (
+	reasonDecision int32 = -1 // branching decision (or probe)
+	reasonAsserted int32 = -2 // forced by implicit BCP (no single clause)
+)
+
+// New creates a solver for the formula.
+func New(f *cnf.Formula, cfg Config) *Solver {
+	s := &Solver{
+		f: f, cfg: cfg.withDefaults(), nVars: f.NumVars,
+		nOrig:      int32(len(f.Clauses)),
+		clauses:    append([]cnf.Clause(nil), f.Clauses...),
+		conflictCl: -1,
+	}
+	s.occ = make([][]int32, 2*(f.NumVars+1))
+	for ci, cl := range s.clauses {
+		for _, l := range cl {
+			s.occ[litIndex(l)] = append(s.occ[litIndex(l)], int32(ci))
+		}
+	}
+	s.reason = make([]int32, f.NumVars+1)
+	s.level = make([]int32, f.NumVars+1)
+	s.assign = make([]int8, f.NumVars+1)
+	s.nTrue = make([]int32, len(s.clauses))
+	s.nFalse = make([]int32, len(s.clauses))
+	s.varSeen = make([]uint32, f.NumVars+1)
+	s.clSeen = make([]uint32, len(s.clauses))
+	s.compClSet = make([]uint32, len(s.clauses))
+	if f.Circ != nil {
+		s.simVals = make([]uint64, len(f.Circ.Nodes))
+		s.gateSeen = make([]uint32, len(f.Circ.Nodes))
+		s.nodeSeen = make([]uint32, len(f.Circ.Nodes))
+	}
+	return s
+}
+
+// litIndex maps literal +v to 2v and -v to 2v+1.
+func litIndex(l int32) int32 {
+	if l > 0 {
+		return 2 * l
+	}
+	return -2*l + 1
+}
+
+func litVar(l int32) int32 {
+	if l > 0 {
+		return l
+	}
+	return -l
+}
+
+// Stats returns the statistics of the most recent Count call.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Count returns the exact number of satisfying assignments of the formula
+// over all its variables. For formulas produced by cnf.Encode this equals
+// the number of input patterns of the encoded cone that set the output to
+// 1 (the Tseitin encoding extends each satisfying input uniquely).
+func (s *Solver) Count() (*big.Int, error) {
+	s.reset()
+	if s.cfg.TimeLimit > 0 {
+		s.deadline = time.Now().Add(s.cfg.TimeLimit)
+		s.hasLimit = true
+	}
+	// Level 0: propagate the unit clauses (and fail on empty clauses).
+	for ci, cl := range s.clauses {
+		switch len(cl) {
+		case 0:
+			return big.NewInt(0), nil
+		case 1:
+			if s.nTrue[ci] == 0 { // not yet satisfied by an earlier unit
+				s.propQ = append(s.propQ, propItem{cl[0], int32(ci)})
+			}
+		}
+	}
+	if !s.propagate() {
+		return big.NewInt(0), nil
+	}
+	allVars := make([]int32, 0, s.nVars)
+	for v := int32(1); v <= int32(s.nVars); v++ {
+		allVars = append(allVars, v)
+	}
+	if !s.cfg.DisableIBCP && !s.failedLiteralFixpoint(allVars) {
+		return big.NewInt(0), nil
+	}
+	if s.aborted {
+		return nil, ErrTimeout
+	}
+	free := allVars[:0]
+	for _, v := range allVars {
+		if s.assign[v] == unassigned {
+			free = append(free, v)
+		}
+	}
+	allVars = free
+	total := big.NewInt(1)
+	comps, freeCount := s.findComponents(allVars)
+	total.Lsh(total, uint(freeCount))
+	for _, comp := range comps {
+		r := s.solveComponent(comp)
+		if r == nil {
+			return nil, ErrTimeout
+		}
+		total.Mul(total, r)
+		if total.Sign() == 0 {
+			break
+		}
+	}
+	return total, nil
+}
+
+func (s *Solver) reset() {
+	for i := range s.assign {
+		s.assign[i] = unassigned
+	}
+	// Learned clauses survive resets (they are consequences of the
+	// original formula); only the counters are cleared.
+	for i := range s.nTrue {
+		s.nTrue[i] = 0
+		s.nFalse[i] = 0
+	}
+	s.trail = s.trail[:0]
+	s.propQ = s.propQ[:0]
+	s.cache = make(map[string]*big.Int)
+	s.stats = Stats{}
+	s.aborted = false
+	s.hasLimit = false
+	s.ticks = 0
+	s.curLevel = 0
+	s.conflictCl = -1
+}
+
+func (s *Solver) checkAbort() bool {
+	if s.aborted {
+		return true
+	}
+	if !s.hasLimit {
+		return false
+	}
+	s.ticks++
+	if s.ticks&1023 == 0 && time.Now().After(s.deadline) {
+		s.aborted = true
+	}
+	return s.aborted
+}
+
+// assertLit assigns a literal and updates clause counters, queueing any
+// new unit literals. It reports false on conflict (recording the
+// conflicting clause for analysis). A literal already assigned
+// consistently is a no-op; an inconsistent one is a conflict.
+func (s *Solver) assertLit(lit, why int32) bool {
+	v := litVar(lit)
+	want := int8(0)
+	if lit > 0 {
+		want = 1
+	}
+	if s.assign[v] != unassigned {
+		if s.assign[v] == want {
+			return true
+		}
+		s.conflictCl = why // why is fully falsified now
+		return false
+	}
+	s.assign[v] = want
+	s.reason[v] = why
+	s.level[v] = s.curLevel
+	s.trail = append(s.trail, lit)
+	s.stats.Propagations++
+	for _, ci := range s.occ[litIndex(lit)] {
+		s.nTrue[ci]++
+	}
+	conflict := false
+	for _, ci := range s.occ[litIndex(-lit)] {
+		s.nFalse[ci]++
+		if s.nTrue[ci] != 0 {
+			continue
+		}
+		free := int32(len(s.clauses[ci])) - s.nFalse[ci]
+		if free == 0 {
+			if !conflict {
+				s.conflictCl = ci
+			}
+			conflict = true
+		} else if free == 1 {
+			// find the single unassigned literal
+			for _, l := range s.clauses[ci] {
+				if s.assign[litVar(l)] == unassigned {
+					s.propQ = append(s.propQ, propItem{l, ci})
+					break
+				}
+			}
+		}
+	}
+	return !conflict
+}
+
+// propagate drains the propagation queue to fixpoint. On conflict it
+// learns a clause (when enabled), leaves counters consistent (undoTo
+// restores them) and returns false with the queue cleared.
+func (s *Solver) propagate() bool {
+	for len(s.propQ) > 0 {
+		it := s.propQ[len(s.propQ)-1]
+		s.propQ = s.propQ[:len(s.propQ)-1]
+		if !s.assertLit(it.lit, it.reason) {
+			s.propQ = s.propQ[:0]
+			s.learnFromConflict()
+			return false
+		}
+	}
+	return true
+}
+
+// learnFromConflict performs first-UIP conflict analysis on the recorded
+// conflicting clause and adds the learned clause to the database. The
+// learned clause is a consequence of the original formula, so it can
+// safely propagate anywhere (it never changes model counts) while being
+// invisible to component analysis. Analysis bails out harmlessly on
+// pseudo-reasons (probe-forced literals).
+func (s *Solver) learnFromConflict() {
+	if s.cfg.DisableLearning || s.curLevel == 0 || s.conflictCl < 0 ||
+		s.learned >= s.cfg.MaxLearned {
+		return
+	}
+	s.stamp++
+	st := s.stamp
+	var lits []int32
+	counter := 0
+	cl := s.clauses[s.conflictCl]
+	idx := len(s.trail) - 1
+	for {
+		for _, l := range cl {
+			v := litVar(l)
+			if s.varSeen[v] == st || s.level[v] == 0 {
+				continue
+			}
+			s.varSeen[v] = st
+			if s.level[v] == s.curLevel {
+				counter++
+			} else {
+				lits = append(lits, l)
+			}
+		}
+		// Walk back to the most recent current-level variable involved.
+		for idx >= 0 {
+			v := litVar(s.trail[idx])
+			if s.varSeen[v] == st && s.level[v] == s.curLevel {
+				break
+			}
+			idx--
+		}
+		if idx < 0 {
+			return // defensive: malformed analysis state
+		}
+		v := litVar(s.trail[idx])
+		idx--
+		counter--
+		if counter == 0 {
+			// v is the first UIP; the learned clause asserts its negation.
+			if s.assign[v] == 1 {
+				lits = append(lits, -v)
+			} else {
+				lits = append(lits, v)
+			}
+			break
+		}
+		r := s.reason[v]
+		if r < 0 {
+			return // probe-forced or decision inside analysis: skip learning
+		}
+		cl = s.clauses[r]
+	}
+	if len(lits) == 0 || len(lits) > 8 {
+		return // empty or too weak to be worth the BCP cost
+	}
+	s.addLearned(lits)
+}
+
+// addLearned appends a learned clause, wiring occurrence lists and
+// initializing its counters under the current assignment so that the
+// trail-based undo stays consistent.
+func (s *Solver) addLearned(lits []int32) {
+	ci := int32(len(s.clauses))
+	cl := make(cnf.Clause, len(lits))
+	copy(cl, lits)
+	var nt, nf int32
+	for _, l := range cl {
+		s.occ[litIndex(l)] = append(s.occ[litIndex(l)], ci)
+		switch s.assign[litVar(l)] {
+		case unassigned:
+		case 1:
+			if l > 0 {
+				nt++
+			} else {
+				nf++
+			}
+		case 0:
+			if l > 0 {
+				nf++
+			} else {
+				nt++
+			}
+		}
+	}
+	s.clauses = append(s.clauses, cl)
+	s.nTrue = append(s.nTrue, nt)
+	s.nFalse = append(s.nFalse, nf)
+	s.clSeen = append(s.clSeen, 0)
+	s.compClSet = append(s.compClSet, 0)
+	s.learned++
+	s.stats.Learned++
+}
+
+// undoTo unassigns trail entries beyond mark, restoring clause counters.
+func (s *Solver) undoTo(mark int) {
+	for len(s.trail) > mark {
+		lit := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		v := litVar(lit)
+		s.assign[v] = unassigned
+		for _, ci := range s.occ[litIndex(lit)] {
+			s.nTrue[ci]--
+		}
+		for _, ci := range s.occ[litIndex(-lit)] {
+			s.nFalse[ci]--
+		}
+	}
+	s.propQ = s.propQ[:0]
+}

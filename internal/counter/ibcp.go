@@ -1,0 +1,88 @@
+package counter
+
+// Implicit BCP (failed-literal probing), the sharpSAT/GANAK technique:
+// before branching on a component, tentatively assign candidate literals
+// and propagate; a literal whose propagation conflicts is forced to its
+// complement. This prunes the unsatisfiable cores that arise in
+// high-order deviation bits of MED miters (where |y - y'| provably never
+// reaches bit j) without full clause learning.
+
+// probeCandidates collects the free variables of the component that
+// occur in an active binary-residual clause — the classic candidate set:
+// probing them is what makes chains of short clauses collapse.
+func (s *Solver) probeCandidates(vars []int32, out []int32) []int32 {
+	out = out[:0]
+	for _, v := range vars {
+		if s.assign[v] != unassigned {
+			continue
+		}
+		if s.inActiveBinary(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (s *Solver) inActiveBinary(v int32) bool {
+	for _, li := range [2]int32{2 * v, 2*v + 1} {
+		for _, ci := range s.occ[li] {
+			if s.nTrue[ci] == 0 && int32(len(s.clauses[ci]))-s.nFalse[ci] == 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// failedLiteralFixpoint probes candidate variables of the component to a
+// fixpoint. Literals whose propagation conflicts are asserted negated
+// (they are logical consequences, so the model count is unchanged).
+// It reports false when the current assignment itself is contradictory
+// (both phases of some variable fail), meaning the component has zero
+// models.
+func (s *Solver) failedLiteralFixpoint(vars []int32) bool {
+	var cands []int32
+	for {
+		cands = s.probeCandidates(vars, cands)
+		changed := false
+		for _, v := range cands {
+			if s.assign[v] != unassigned {
+				continue
+			}
+			if s.checkAbort() {
+				return true // let the caller notice the abort flag
+			}
+			mark := len(s.trail)
+			s.curLevel++
+			s.propQ = append(s.propQ, propItem{v, reasonDecision})
+			okPos := s.propagate()
+			s.undoTo(mark)
+			s.curLevel--
+			if !okPos {
+				s.stats.FailedLiterals++
+				s.propQ = append(s.propQ, propItem{-v, reasonAsserted})
+				if !s.propagate() {
+					return false
+				}
+				changed = true
+				continue
+			}
+			s.curLevel++
+			s.propQ = append(s.propQ, propItem{-v, reasonDecision})
+			okNeg := s.propagate()
+			s.undoTo(mark)
+			s.curLevel--
+			if !okNeg {
+				s.stats.FailedLiterals++
+				s.propQ = append(s.propQ, propItem{v, reasonAsserted})
+				if !s.propagate() {
+					return false
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package counter
+
+import (
+	"math/big"
+	"math/bits"
+	"sort"
+
+	"vacsem/internal/circuit"
+)
+
+// trySimulate implements SimulationController(f) + SolveBySimulation(f)
+// from Algorithm 1. Given a residual component, it recovers the
+// corresponding sub-circuit through the clause->gate map built in Phase 1,
+// classifies sub-circuit inputs into free and decided ones and gates into
+// plain and checking gates, and — when the dynamic controller enables
+// simulation — counts the component's models as the number of *consistent
+// patterns* (Proposition 1) with 64-way bit-parallel simulation.
+//
+// It returns (count, true) when simulation was performed, (nil, false)
+// when the controller chose the DPLL path.
+func (s *Solver) trySimulate(comp *component) (*big.Int, bool) {
+	if !s.cfg.EnableSim || s.f.Circ == nil {
+		return nil, false
+	}
+	// Cheap size pre-check: every gate contributes at least two clauses,
+	// so a component with fewer than 2*MinSimGates clauses cannot reach
+	// the minimum sub-circuit size — skip the gate mapping entirely.
+	if len(comp.clauses) < 2*s.cfg.MinSimGates {
+		s.stats.SimRejected++
+		return nil, false
+	}
+	circ := s.f.Circ
+
+	// 1. Map the component's clauses back to gates (unique node ids).
+	s.stamp++
+	stamp := s.stamp
+	for _, v := range comp.vars {
+		s.varSeen[v] = stamp
+	}
+	var gates []int32
+	for _, ci := range comp.clauses {
+		g := s.f.GateOfClause[ci]
+		if g < 0 {
+			// A clause with no gate (e.g. an assumption) cannot be
+			// represented by circuit structure.
+			s.stats.SimRejected++
+			return nil, false
+		}
+		if s.gateSeen[g] != stamp {
+			s.gateSeen[g] = stamp
+			gates = append(gates, g)
+		}
+		s.compClSet[ci] = stamp
+	}
+
+	// 2. Completeness guard: every still-active clause of every mapped
+	// gate must belong to this component, otherwise simulating the full
+	// gate consistency would over-constrain the component. (For the
+	// standard encodings this holds by construction; the guard keeps the
+	// counter sound for any clause layout.)
+	for _, g := range gates {
+		for _, ci := range s.f.ClausesOfGate[g] {
+			if s.nTrue[ci] == 0 && s.compClSet[ci] != stamp {
+				s.stats.SimRejected++
+				return nil, false
+			}
+		}
+	}
+
+	// 3. Collect sub-circuit inputs: fanins of mapped gates that are not
+	// themselves mapped gates. Inputs whose variables are decided become
+	// constant vectors. Free inputs that belong to the component are
+	// enumerated. A free fanin *outside* the component (its variable
+	// appears in no active clause of this component) cannot influence
+	// consistency — the residual clauses never mention it — so it is
+	// pinned to 0 rather than enumerated, which would double-count.
+	var freeInputs, pinnedInputs []int32
+	for _, g := range gates {
+		for _, fn := range circ.Nodes[g].Fanins {
+			fn32 := int32(fn)
+			if s.gateSeen[fn32] == stamp || s.nodeSeen[fn32] == stamp {
+				continue
+			}
+			s.nodeSeen[fn32] = stamp
+			v := s.f.VarOfNode[fn32]
+			if v == 0 {
+				// A fanin without a CNF variable cannot occur for encoded
+				// cones; refuse rather than guess.
+				s.stats.SimRejected++
+				return nil, false
+			}
+			switch {
+			case s.assign[v] != unassigned:
+				pinnedInputs = append(pinnedInputs, fn32)
+			case s.varSeen[v] == stamp:
+				freeInputs = append(freeInputs, fn32)
+			default:
+				pinnedInputs = append(pinnedInputs, fn32) // irrelevant free fanin
+			}
+		}
+	}
+
+	// 4. Dynamic controller (Section IV-B3): density score
+	// alpha * |gates| / K^2, with a hard cap on K so the 2^K enumeration
+	// stays tractable.
+	k := len(freeInputs)
+	if k > s.cfg.MaxSimVars || k > 62 {
+		s.stats.SimRejected++
+		return nil, false
+	}
+	if len(gates) < s.cfg.MinSimGates {
+		s.stats.SimRejected++
+		return nil, false
+	}
+	if k > 0 {
+		density := s.cfg.Alpha * float64(len(gates)) / float64(k*k)
+		if density <= 1 {
+			s.stats.SimRejected++
+			return nil, false
+		}
+	}
+
+	// 5. Simulate. Gates in ascending node-id order are in topological
+	// order (a circuit invariant checked by Validate at encode time).
+	sort.Slice(gates, func(i, j int) bool { return gates[i] < gates[j] })
+	count := s.simulateComponent(gates, freeInputs, pinnedInputs)
+	s.stats.SimCalls++
+	return new(big.Int).SetUint64(count), true
+}
+
+// simulateComponent enumerates all 2^K patterns of the free inputs in
+// 64-pattern blocks and counts consistent patterns: patterns under which
+// every checking gate's simulated value matches its decided CNF value.
+// Pinned inputs (decided variables, plus free-but-irrelevant fanins) hold
+// constant vectors.
+func (s *Solver) simulateComponent(gates, freeInputs, pinnedInputs []int32) uint64 {
+	circ := s.f.Circ
+	k := len(freeInputs)
+	total := uint64(1) << uint(k)
+	blocks := (total + 63) / 64
+	if blocks == 0 {
+		blocks = 1
+	}
+	s.stats.SimPatterns += total
+
+	// Pinned inputs hold constant vectors across all blocks.
+	for _, n := range pinnedInputs {
+		v := s.f.VarOfNode[n]
+		if s.assign[v] == 1 {
+			s.simVals[n] = ^uint64(0)
+		} else {
+			s.simVals[n] = 0
+		}
+	}
+
+	var args [3]uint64
+	var count uint64
+	for b := uint64(0); b < blocks; b++ {
+		for i, n := range freeInputs {
+			s.simVals[n] = inputWord(i, b)
+		}
+		acc := ^uint64(0)
+		for _, g := range gates {
+			nd := &circ.Nodes[g]
+			var w uint64
+			switch nd.Kind {
+			case circuit.And:
+				w = s.simVals[nd.Fanins[0]] & s.simVals[nd.Fanins[1]]
+			case circuit.Or:
+				w = s.simVals[nd.Fanins[0]] | s.simVals[nd.Fanins[1]]
+			case circuit.Xor:
+				w = s.simVals[nd.Fanins[0]] ^ s.simVals[nd.Fanins[1]]
+			case circuit.Not:
+				w = ^s.simVals[nd.Fanins[0]]
+			default:
+				a := args[:len(nd.Fanins)]
+				for j, f := range nd.Fanins {
+					a[j] = s.simVals[f]
+				}
+				w = nd.Kind.EvalWord(a)
+			}
+			s.simVals[g] = w
+			v := s.f.VarOfNode[g]
+			switch s.assign[v] {
+			case 1: // checking gate decided TRUE
+				acc &= w
+			case 0: // checking gate decided FALSE
+				acc &= ^w
+			}
+		}
+		if rem := total - b*64; rem < 64 {
+			acc &= (uint64(1) << rem) - 1
+		}
+		count += uint64(bits.OnesCount64(acc))
+	}
+	return count
+}
+
+// inputWord mirrors sim.InputWord without importing the package (the
+// counter must stay decoupled from the simulator's public surface).
+func inputWord(i int, block uint64) uint64 {
+	var base = [6]uint64{
+		0xAAAAAAAAAAAAAAAA, 0xCCCCCCCCCCCCCCCC, 0xF0F0F0F0F0F0F0F0,
+		0xFF00FF00FF00FF00, 0xFFFF0000FFFF0000, 0xFFFFFFFF00000000,
+	}
+	if i < 6 {
+		return base[i]
+	}
+	if block>>(uint(i)-6)&1 == 1 {
+		return ^uint64(0)
+	}
+	return 0
+}

@@ -1,0 +1,293 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vacsem/internal/circuit"
+)
+
+// BarrelShifter generates a logical right barrel shifter (the EPFL
+// "bar"/barshift role): w data inputs plus ceil(log2 w) shift-amount
+// inputs, w outputs. w must be a power of two.
+func BarrelShifter(w int) *circuit.Circuit {
+	if w&(w-1) != 0 || w == 0 {
+		panic("gen: BarrelShifter width must be a power of two")
+	}
+	c := circuit.New(fmt.Sprintf("barshift%d", w))
+	data := InputBus(c, "d", w)
+	stages := 0
+	for 1<<uint(stages) < w {
+		stages++
+	}
+	sh := InputBus(c, "sh", stages)
+	cur := data
+	for s := 0; s < stages; s++ {
+		shift := 1 << uint(s)
+		next := make(Bus, w)
+		for i := 0; i < w; i++ {
+			from := 0 // shifted-in zero
+			if i+shift < w {
+				from = cur[i+shift]
+			}
+			next[i] = c.AddGate(circuit.Mux, sh[s], cur[i], from)
+		}
+		cur = next
+	}
+	OutputBus(c, "q", cur)
+	return c
+}
+
+// PriorityEncoder generates a w-input priority encoder (the EPFL
+// "priority" role): outputs the index of the highest-numbered asserted
+// input (ceil(log2 w) bits) plus a valid flag. w must be a power of two.
+func PriorityEncoder(w int) *circuit.Circuit {
+	if w&(w-1) != 0 || w == 0 {
+		panic("gen: PriorityEncoder width must be a power of two")
+	}
+	c := circuit.New(fmt.Sprintf("priority%d", w))
+	in := InputBus(c, "r", w)
+	bitsN := 0
+	for 1<<uint(bitsN) < w {
+		bitsN++
+	}
+	// Scan from the highest request downward with a mux chain: idx is the
+	// index of the highest asserted bit.
+	idx := make(Bus, bitsN)
+	for j := range idx {
+		idx[j] = 0
+	}
+	valid := 0
+	for i := 0; i < w; i++ { // low to high; higher i wins
+		for j := 0; j < bitsN; j++ {
+			bit := 0
+			if i>>uint(j)&1 == 1 {
+				bit = c.Const1()
+			}
+			idx[j] = c.AddGate(circuit.Mux, in[i], idx[j], bit)
+		}
+		if valid == 0 {
+			valid = in[i]
+		} else {
+			valid = c.AddGate(circuit.Or, valid, in[i])
+		}
+	}
+	OutputBus(c, "idx", idx)
+	c.AddOutput(valid, "valid")
+	return c
+}
+
+// Decoder generates an n-to-2^n one-hot decoder (the EPFL "dec" role).
+func Decoder(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("dec%d", n))
+	in := InputBus(c, "a", n)
+	inv := make(Bus, n)
+	for i := range in {
+		inv[i] = c.AddGate(circuit.Not, in[i])
+	}
+	for v := 0; v < 1<<uint(n); v++ {
+		term := -1
+		for i := 0; i < n; i++ {
+			lit := in[i]
+			if v>>uint(i)&1 == 0 {
+				lit = inv[i]
+			}
+			if term < 0 {
+				term = lit
+			} else {
+				term = c.AddGate(circuit.And, term, lit)
+			}
+		}
+		c.AddOutput(term, fmt.Sprintf("y%d", v))
+	}
+	return c
+}
+
+// Comparator generates an n-bit unsigned comparator with outputs
+// (a < b, a == b, a > b).
+func Comparator(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("cmp%d", n))
+	a := InputBus(c, "a", n)
+	b := InputBus(c, "b", n)
+	lt, eq := 0, c.Const1()
+	// Scan MSB -> LSB.
+	for i := n - 1; i >= 0; i-- {
+		na := c.AddGate(circuit.Not, a[i])
+		bitLT := c.AddGate(circuit.And, na, b[i])
+		bitEQ := c.AddGate(circuit.Xnor, a[i], b[i])
+		lt = c.AddGate(circuit.Or, lt, c.AddGate(circuit.And, eq, bitLT))
+		eq = c.AddGate(circuit.And, eq, bitEQ)
+	}
+	gt := c.AddGate(circuit.Nor, lt, eq)
+	c.AddOutput(lt, "lt")
+	c.AddOutput(eq, "eq")
+	c.AddOutput(gt, "gt")
+	return c
+}
+
+// Parity generates the n-input parity (XOR) tree.
+func Parity(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("parity%d", n))
+	in := InputBus(c, "a", n)
+	cur := []int(in)
+	for len(cur) > 1 {
+		var next []int
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, c.AddGate(circuit.Xor, cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	c.AddOutput(cur[0], "p")
+	return c
+}
+
+// Int2Float generates the EPFL "int2float" role: an n-bit unsigned
+// integer is converted to a small float with eBits of exponent and mBits
+// of mantissa (no sign; values round toward zero; exponent saturates).
+// Outputs: mantissa (mBits, without the hidden one), exponent (eBits).
+func Int2Float(n, eBits, mBits int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("int2float%d", n))
+	in := InputBus(c, "a", n)
+	// Leading-one position (priority from MSB): exp = floor(log2 x) when
+	// x != 0, else 0.
+	// found_i = in[i] & none higher set.
+	oneHot := make(Bus, n)
+	noneHigher := c.Const1()
+	for i := n - 1; i >= 0; i-- {
+		oneHot[i] = c.AddGate(circuit.And, in[i], noneHigher)
+		if i > 0 {
+			noneHigher = c.AddGate(circuit.And, noneHigher,
+				c.AddGate(circuit.Not, in[i]))
+		}
+	}
+	// Exponent: binary encode of the leading-one index, saturated to
+	// eBits.
+	maxExp := 1<<uint(eBits) - 1
+	exp := make(Bus, eBits)
+	for j := range exp {
+		exp[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		e := i
+		if e > maxExp {
+			e = maxExp
+		}
+		for j := 0; j < eBits; j++ {
+			if e>>uint(j)&1 == 1 {
+				exp[j] = c.AddGate(circuit.Or, exp[j], oneHot[i])
+			}
+		}
+	}
+	// Mantissa: the mBits bits following the leading one (zero-padded).
+	man := make(Bus, mBits)
+	for j := range man {
+		man[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		// If leading one is at i, mantissa bit j (MSB-first j=mBits-1)
+		// comes from in[i-1-(mBits-1-j)].
+		for j := 0; j < mBits; j++ {
+			src := i - (mBits - j)
+			if src < 0 {
+				continue
+			}
+			sel := c.AddGate(circuit.And, oneHot[i], in[src])
+			man[j] = c.AddGate(circuit.Or, man[j], sel)
+		}
+	}
+	OutputBus(c, "m", man)
+	OutputBus(c, "e", exp)
+	return c
+}
+
+// SinApprox generates a fixed-point sine-like polynomial datapath (the
+// EPFL "sin" role): y = x - x^3 / 8 truncated, computed with two w x w
+// multipliers and a subtractor on a w-bit input. The exact constant
+// differs from 1/6, so this is an approximation structurally equivalent
+// to a polynomial sine evaluator (dense multiplier logic), which is what
+// matters for the verification workload. Outputs have w+1 bits.
+func SinApprox(w int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("sin%d", w))
+	x := InputBus(c, "x", w)
+	sq := MultiplyArray(c, x, x)        // 2w bits
+	cube := MultiplyArray(c, x, sq[:w]) // x * (x^2 mod 2^w), 2w bits
+	// x^3 / 8: drop three low bits, keep w bits.
+	shifted := make(Bus, w)
+	for i := range shifted {
+		if i+3 < len(cube) {
+			shifted[i] = cube[i+3]
+		} else {
+			shifted[i] = 0
+		}
+	}
+	diff, borrowN := RippleSub(c, Bus(x), shifted)
+	OutputBus(c, "y", append(append(Bus{}, diff...), c.AddGate(circuit.Not, borrowN)))
+	return c
+}
+
+// ControlLogic generates seeded pseudo-random two-level control logic
+// (the stand-in for the EPFL ctrl/cavlc benchmarks): each output is an OR
+// of `terms` AND-terms over random literal subsets. Deterministic in the
+// seed.
+func ControlLogic(name string, nPI, nPO, terms int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(name)
+	in := InputBus(c, "x", nPI)
+	inv := make(Bus, nPI)
+	for i := range in {
+		inv[i] = c.AddGate(circuit.Not, in[i])
+	}
+	for o := 0; o < nPO; o++ {
+		or := -1
+		for t := 0; t < terms; t++ {
+			k := 2 + rng.Intn(nPI-1) // term width
+			term := -1
+			perm := rng.Perm(nPI)[:k]
+			for _, i := range perm {
+				lit := in[i]
+				if rng.Intn(2) == 0 {
+					lit = inv[i]
+				}
+				if term < 0 {
+					term = lit
+				} else {
+					term = c.AddGate(circuit.And, term, lit)
+				}
+			}
+			if or < 0 {
+				or = term
+			} else {
+				or = c.AddGate(circuit.Or, or, term)
+			}
+		}
+		c.AddOutput(or, fmt.Sprintf("y%d", o))
+	}
+	return c
+}
+
+// Router generates the EPFL "router" role stand-in: two w-bit data words
+// and a w-bit grant mask; output i forwards a[i] when grant[i] is set and
+// b[i] otherwise, with a parity tag over the selected word appended when
+// tag is true. Inputs: 3w (+0); outputs: w (+1 with tag).
+func Router(w int, tag bool) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("router%d", w))
+	a := InputBus(c, "a", w)
+	b := InputBus(c, "b", w)
+	g := InputBus(c, "g", w)
+	out := make(Bus, w)
+	for i := 0; i < w; i++ {
+		out[i] = c.AddGate(circuit.Mux, g[i], b[i], a[i])
+	}
+	OutputBus(c, "q", out)
+	if tag {
+		p := out[0]
+		for i := 1; i < w; i++ {
+			p = c.AddGate(circuit.Xor, p, out[i])
+		}
+		c.AddOutput(p, "tag")
+	}
+	return c
+}

@@ -1,0 +1,333 @@
+// Package gen builds the benchmark circuits of the paper's Table III:
+// adders and multipliers of parametric width, the BACS arithmetic blocks
+// (squarer, absolute difference, butterfly, multiply-accumulate) and
+// functional stand-ins for the EPFL suite (barrel shifter, priority
+// encoder, decoder, int2float, sine approximation, and seeded control
+// logic for ctrl/cavlc/router). All generators are deterministic.
+//
+// Buses are little-endian: index 0 is the least significant bit.
+package gen
+
+import (
+	"fmt"
+
+	"vacsem/internal/circuit"
+)
+
+// Bus is an ordered list of node ids representing a binary word,
+// least-significant bit first.
+type Bus []int
+
+// InputBus adds w named inputs ("<prefix>0".."<prefix>{w-1}").
+func InputBus(c *circuit.Circuit, prefix string, w int) Bus {
+	b := make(Bus, w)
+	for i := range b {
+		b[i] = c.AddInput(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return b
+}
+
+// OutputBus registers all bus bits as outputs named "<prefix>0"...
+func OutputBus(c *circuit.Circuit, prefix string, b Bus) {
+	for i, id := range b {
+		c.AddOutput(id, fmt.Sprintf("%s%d", prefix, i))
+	}
+}
+
+// fullAdder returns (sum, carry-out) of a+b+cin.
+func fullAdder(c *circuit.Circuit, a, b, cin int) (int, int) {
+	axb := c.AddGate(circuit.Xor, a, b)
+	sum := c.AddGate(circuit.Xor, axb, cin)
+	cout := c.AddGate(circuit.Maj, a, b, cin)
+	return sum, cout
+}
+
+// halfAdder returns (sum, carry-out) of a+b.
+func halfAdder(c *circuit.Circuit, a, b int) (int, int) {
+	return c.AddGate(circuit.Xor, a, b), c.AddGate(circuit.And, a, b)
+}
+
+// RippleAdd builds a ripple-carry sum of two equal-width buses plus a
+// carry-in node, returning the w sum bits and the carry-out.
+func RippleAdd(c *circuit.Circuit, a, b Bus, cin int) (Bus, int) {
+	if len(a) != len(b) {
+		panic("gen: RippleAdd on unequal widths")
+	}
+	sum := make(Bus, len(a))
+	carry := cin
+	for i := range a {
+		sum[i], carry = fullAdder(c, a[i], b[i], carry)
+	}
+	return sum, carry
+}
+
+// RippleSub builds a - b in two's complement (a + ~b + 1), returning the
+// w difference bits and the final carry (1 means a >= b).
+func RippleSub(c *circuit.Circuit, a, b Bus) (Bus, int) {
+	nb := make(Bus, len(b))
+	for i := range b {
+		nb[i] = c.AddGate(circuit.Not, b[i])
+	}
+	return RippleAdd(c, a, nb, c.Const1())
+}
+
+// RippleCarryAdder generates an n-bit adder: inputs a0..a{n-1}, b0..b{n-1};
+// outputs s0..s{n-1} and carry-out s{n} (n+1 outputs, like the paper's
+// adder benchmarks: 2n PIs, n+1 POs).
+func RippleCarryAdder(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("adder%d", n))
+	a := InputBus(c, "a", n)
+	b := InputBus(c, "b", n)
+	sum, cout := RippleAdd(c, a, b, 0)
+	OutputBus(c, "s", append(append(Bus{}, sum...), cout))
+	return c
+}
+
+// CarryLookaheadAdder generates an n-bit adder with 4-bit lookahead
+// groups: same interface as RippleCarryAdder, different (flatter)
+// structure.
+func CarryLookaheadAdder(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("cla%d", n))
+	a := InputBus(c, "a", n)
+	b := InputBus(c, "b", n)
+	p := make(Bus, n) // propagate
+	g := make(Bus, n) // generate
+	for i := 0; i < n; i++ {
+		p[i] = c.AddGate(circuit.Xor, a[i], b[i])
+		g[i] = c.AddGate(circuit.And, a[i], b[i])
+	}
+	carry := make(Bus, n+1)
+	carry[0] = 0
+	for base := 0; base < n; base += 4 {
+		end := base + 4
+		if end > n {
+			end = n
+		}
+		for i := base; i < end; i++ {
+			// c[i+1] = g[i] | p[i]&g[i-1] | ... | p[i..base]&c[base]
+			term := carry[base]
+			for k := base; k <= i; k++ {
+				term = c.AddGate(circuit.And, term, p[k])
+			}
+			acc := term
+			for k := base; k <= i; k++ {
+				t := g[k]
+				for l := k + 1; l <= i; l++ {
+					t = c.AddGate(circuit.And, t, p[l])
+				}
+				acc = c.AddGate(circuit.Or, acc, t)
+			}
+			carry[i+1] = acc
+		}
+	}
+	sum := make(Bus, n+1)
+	for i := 0; i < n; i++ {
+		sum[i] = c.AddGate(circuit.Xor, p[i], carry[i])
+	}
+	sum[n] = carry[n]
+	OutputBus(c, "s", sum)
+	return c
+}
+
+// CarrySelectAdder generates an n-bit carry-select adder with the given
+// block size: each block computes both carry hypotheses and muxes.
+func CarrySelectAdder(n, block int) *circuit.Circuit {
+	if block < 1 {
+		panic("gen: block size must be >= 1")
+	}
+	c := circuit.New(fmt.Sprintf("csel%d", n))
+	a := InputBus(c, "a", n)
+	b := InputBus(c, "b", n)
+	sum := make(Bus, n+1)
+	carry := 0 // const0 carry-in
+	one := c.Const1()
+	for base := 0; base < n; base += block {
+		end := base + block
+		if end > n {
+			end = n
+		}
+		// two hypotheses
+		s0 := make(Bus, end-base)
+		s1 := make(Bus, end-base)
+		c0, c1 := 0, one
+		for i := base; i < end; i++ {
+			s0[i-base], c0 = fullAdder(c, a[i], b[i], c0)
+			s1[i-base], c1 = fullAdder(c, a[i], b[i], c1)
+		}
+		for i := base; i < end; i++ {
+			sum[i] = c.AddGate(circuit.Mux, carry, s0[i-base], s1[i-base])
+		}
+		carry = c.AddGate(circuit.Mux, carry, c0, c1)
+	}
+	sum[n] = carry
+	OutputBus(c, "s", sum)
+	return c
+}
+
+// ArrayMultiplier generates an n x n array multiplier: inputs a, b
+// (n bits each), outputs p0..p{2n-1} (like the paper's multN benchmarks:
+// 2n PIs, 2n POs).
+func ArrayMultiplier(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("mult%d", n))
+	a := InputBus(c, "a", n)
+	b := InputBus(c, "b", n)
+	p := MultiplyArray(c, a, b)
+	OutputBus(c, "p", p)
+	return c
+}
+
+// MultiplyArray builds the partial-product array and ripple reduction of
+// a*b inside an existing circuit, returning the len(a)+len(b) product
+// bits.
+func MultiplyArray(c *circuit.Circuit, a, b Bus) Bus {
+	n, m := len(a), len(b)
+	// rows[j] = a * b[j] shifted left j
+	acc := make(Bus, n+m)
+	for i := range acc {
+		acc[i] = 0 // const0
+	}
+	for j := 0; j < m; j++ {
+		row := make(Bus, n)
+		for i := 0; i < n; i++ {
+			row[i] = c.AddGate(circuit.And, a[i], b[j])
+		}
+		carry := 0
+		for i := 0; i < n; i++ {
+			acc[i+j], carry = fullAdder(c, acc[i+j], row[i], carry)
+		}
+		// propagate the carry through the remaining accumulator bits
+		for i := n + j; i < n+m && carry != 0; i++ {
+			acc[i], carry = halfAdder(c, acc[i], carry)
+		}
+	}
+	return acc
+}
+
+// WallaceMultiplier generates an n x n multiplier with a Wallace-tree
+// (carry-save) reduction followed by a final ripple adder — a structure
+// with the same function as ArrayMultiplier but shallower depth.
+func WallaceMultiplier(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("wallace%d", n))
+	a := InputBus(c, "a", n)
+	b := InputBus(c, "b", n)
+	// Columns of partial-product bits.
+	cols := make([][]int, 2*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			cols[i+j] = append(cols[i+j], c.AddGate(circuit.And, a[i], b[j]))
+		}
+	}
+	// Reduce columns with full/half adders until each has <= 2 bits.
+	for {
+		reduced := false
+		next := make([][]int, 2*n)
+		for col := 0; col < 2*n; col++ {
+			bitsHere := cols[col]
+			for len(bitsHere) >= 3 {
+				s, co := fullAdder(c, bitsHere[0], bitsHere[1], bitsHere[2])
+				bitsHere = bitsHere[3:]
+				next[col] = append(next[col], s)
+				if col+1 < 2*n {
+					next[col+1] = append(next[col+1], co)
+				}
+				reduced = true
+			}
+			if len(bitsHere) == 2 && len(cols[col]) > 2 {
+				s, co := halfAdder(c, bitsHere[0], bitsHere[1])
+				bitsHere = nil
+				next[col] = append(next[col], s)
+				if col+1 < 2*n {
+					next[col+1] = append(next[col+1], co)
+				}
+				reduced = true
+			}
+			next[col] = append(next[col], bitsHere...)
+		}
+		cols = next
+		if !reduced {
+			break
+		}
+	}
+	// Final carry-propagate addition of the two remaining rows.
+	x := make(Bus, 2*n)
+	y := make(Bus, 2*n)
+	for col := 0; col < 2*n; col++ {
+		switch len(cols[col]) {
+		case 0:
+			x[col], y[col] = 0, 0
+		case 1:
+			x[col], y[col] = cols[col][0], 0
+		default:
+			x[col], y[col] = cols[col][0], cols[col][1]
+		}
+	}
+	p, _ := RippleAdd(c, x, y, 0)
+	OutputBus(c, "p", p)
+	return c
+}
+
+// MAC generates a multiply-accumulate unit: p = a*b + acc, with n-bit a
+// and b and 2n-bit acc; outputs 2n+1 bits.
+func MAC(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("mac%d", n))
+	a := InputBus(c, "a", n)
+	b := InputBus(c, "b", n)
+	accIn := InputBus(c, "c", 2*n)
+	prod := MultiplyArray(c, a, b)
+	sum, cout := RippleAdd(c, prod, accIn, 0)
+	OutputBus(c, "p", append(append(Bus{}, sum...), cout))
+	return c
+}
+
+// AbsDiff generates |a - b| for two n-bit inputs: n outputs.
+func AbsDiff(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("absdiff%d", n))
+	a := InputBus(c, "a", n)
+	b := InputBus(c, "b", n)
+	d, geq := RippleSub(c, a, b) // d = a-b mod 2^n; geq = (a >= b)
+	// If a < b, result is -(a-b) = ~d + 1.
+	neg := c.AddGate(circuit.Not, geq)
+	inv := make(Bus, n)
+	for i := range d {
+		inv[i] = c.AddGate(circuit.Xor, d[i], neg)
+	}
+	abs := make(Bus, n)
+	carry := neg
+	for i := range inv {
+		abs[i], carry = halfAdder(c, inv[i], carry)
+	}
+	OutputBus(c, "d", abs)
+	return c
+}
+
+// Squarer generates p = a*a for an n-bit input (the BACS "binsqrd" role):
+// n PIs, 2n POs.
+func Squarer(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("binsqrd%d", n))
+	a := InputBus(c, "a", n)
+	p := MultiplyArray(c, a, a)
+	OutputBus(c, "p", p)
+	return c
+}
+
+// Butterfly generates the radix-2 FFT butterfly on integer inputs:
+// outputs (a+b, a-b) for two n-bit unsigned inputs; each output has n+1
+// bits (the difference in two's complement with sign).
+func Butterfly(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("butterfly%d", n))
+	a := InputBus(c, "a", n)
+	b := InputBus(c, "b", n)
+	sum, cout := RippleAdd(c, a, b, 0)
+	OutputBus(c, "s", append(append(Bus{}, sum...), cout))
+	// a - b over n+1 bits two's complement (sign-extended by zero).
+	nb := make(Bus, n)
+	for i := range b {
+		nb[i] = c.AddGate(circuit.Not, b[i])
+	}
+	diff, carry := RippleAdd(c, a, nb, c.Const1())
+	// Sign bit: carry==1 means a>=b (positive); two's complement MSB is
+	// ~carry for zero-extended operands.
+	sign := c.AddGate(circuit.Not, carry)
+	OutputBus(c, "d", append(append(Bus{}, diff...), sign))
+	return c
+}

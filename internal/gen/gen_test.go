@@ -1,0 +1,419 @@
+package gen
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"vacsem/internal/circuit"
+)
+
+// evalWord drives the circuit with packed integer operands. operands[i]
+// supplies the bits of the i-th input bus in declaration order; widths
+// gives the bus widths.
+func evalWord(c *circuit.Circuit, widths []int, operands []uint64) *big.Int {
+	x := new(big.Int)
+	bit := 0
+	for i, w := range widths {
+		for j := 0; j < w; j++ {
+			if operands[i]>>uint(j)&1 == 1 {
+				x.SetBit(x, bit, 1)
+			}
+			bit++
+		}
+	}
+	return c.EvalBig(x)
+}
+
+func TestRippleCarryAdder(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		c := RippleCarryAdder(n)
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if c.NumInputs() != 2*n || c.NumOutputs() != n+1 {
+			t.Fatalf("adder%d: %d PI %d PO", n, c.NumInputs(), c.NumOutputs())
+		}
+		mask := uint64(1)<<uint(n) - 1
+		f := func(a, b uint64) bool {
+			a &= mask
+			b &= mask
+			got := evalWord(c, []int{n, n}, []uint64{a, b})
+			return got.Uint64() == a+b
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("adder%d: %v", n, err)
+		}
+	}
+}
+
+func TestAdderVariantsAgree(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		rca := RippleCarryAdder(n)
+		cla := CarryLookaheadAdder(n)
+		csel := CarrySelectAdder(n, 3)
+		mask := uint64(1)<<uint(n) - 1
+		for a := uint64(0); a <= mask; a += 3 {
+			for b := uint64(0); b <= mask; b += 5 {
+				w := evalWord(rca, []int{n, n}, []uint64{a, b}).Uint64()
+				if g := evalWord(cla, []int{n, n}, []uint64{a, b}).Uint64(); g != w {
+					t.Fatalf("cla%d(%d,%d) = %d, want %d", n, a, b, g, w)
+				}
+				if g := evalWord(csel, []int{n, n}, []uint64{a, b}).Uint64(); g != w {
+					t.Fatalf("csel%d(%d,%d) = %d, want %d", n, a, b, g, w)
+				}
+			}
+		}
+	}
+}
+
+func TestArrayMultiplier(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		c := ArrayMultiplier(n)
+		if c.NumInputs() != 2*n || c.NumOutputs() != 2*n {
+			t.Fatalf("mult%d: %d PI %d PO", n, c.NumInputs(), c.NumOutputs())
+		}
+		mask := uint64(1)<<uint(n) - 1
+		f := func(a, b uint64) bool {
+			a &= mask
+			b &= mask
+			return evalWord(c, []int{n, n}, []uint64{a, b}).Uint64() == a*b
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("mult%d: %v", n, err)
+		}
+	}
+}
+
+func TestWallaceMatchesArray(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		w := WallaceMultiplier(n)
+		mask := uint64(1)<<uint(n) - 1
+		for a := uint64(0); a <= mask; a++ {
+			for b := uint64(0); b <= mask; b++ {
+				got := evalWord(w, []int{n, n}, []uint64{a, b}).Uint64()
+				if got != a*b {
+					t.Fatalf("wallace%d(%d,%d) = %d, want %d", n, a, b, got, a*b)
+				}
+			}
+		}
+	}
+}
+
+func TestMAC(t *testing.T) {
+	n := 4
+	c := MAC(n)
+	if c.NumInputs() != 4*n || c.NumOutputs() != 2*n+1 {
+		t.Fatalf("mac%d: %d PI %d PO", n, c.NumInputs(), c.NumOutputs())
+	}
+	f := func(a, b, acc uint64) bool {
+		a &= 15
+		b &= 15
+		acc &= 255
+		got := evalWord(c, []int{n, n, 2 * n}, []uint64{a, b, acc}).Uint64()
+		return got == a*b+acc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbsDiff(t *testing.T) {
+	n := 6
+	c := AbsDiff(n)
+	mask := uint64(1)<<uint(n) - 1
+	f := func(a, b uint64) bool {
+		a &= mask
+		b &= mask
+		want := a - b
+		if b > a {
+			want = b - a
+		}
+		return evalWord(c, []int{n, n}, []uint64{a, b}).Uint64() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquarerAndBinSquared(t *testing.T) {
+	sq := Squarer(5)
+	for a := uint64(0); a < 32; a++ {
+		if got := evalWord(sq, []int{5}, []uint64{a}).Uint64(); got != a*a {
+			t.Fatalf("squarer(%d) = %d, want %d", a, got, a*a)
+		}
+	}
+	bs := BinSquared(4)
+	if bs.NumInputs() != 8 || bs.NumOutputs() != 10 {
+		t.Fatalf("binsqrd4: %d PI %d PO", bs.NumInputs(), bs.NumOutputs())
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			want := (a + b) * (a + b)
+			if got := evalWord(bs, []int{4, 4}, []uint64{a, b}).Uint64(); got != want {
+				t.Fatalf("binsqrd(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestButterfly(t *testing.T) {
+	n := 5
+	c := Butterfly(n)
+	if c.NumOutputs() != 2*(n+1) {
+		t.Fatalf("butterfly: %d PO", c.NumOutputs())
+	}
+	mask := uint64(1)<<uint(n) - 1
+	f := func(a, b uint64) bool {
+		a &= mask
+		b &= mask
+		out := evalWord(c, []int{n, n}, []uint64{a, b})
+		sum := uint64(0)
+		for j := 0; j <= n; j++ {
+			sum |= uint64(out.Bit(j)) << uint(j)
+		}
+		diff := uint64(0)
+		for j := 0; j <= n; j++ {
+			diff |= uint64(out.Bit(n+1+j)) << uint(j)
+		}
+		wantDiff := (a - b) & (uint64(1)<<uint(n+1) - 1) // two's complement n+1 bits
+		return sum == a+b && diff == wantDiff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarrelShifter(t *testing.T) {
+	w := 16
+	c := BarrelShifter(w)
+	if c.NumInputs() != w+4 || c.NumOutputs() != w {
+		t.Fatalf("barshift%d: %d PI %d PO", w, c.NumInputs(), c.NumOutputs())
+	}
+	f := func(d, sh uint64) bool {
+		d &= 0xFFFF
+		sh &= 15
+		got := evalWord(c, []int{w, 4}, []uint64{d, sh}).Uint64()
+		return got == d>>sh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPriorityEncoder(t *testing.T) {
+	w := 16
+	c := PriorityEncoder(w)
+	if c.NumInputs() != w || c.NumOutputs() != 5 {
+		t.Fatalf("priority%d: %d PI %d PO", w, c.NumInputs(), c.NumOutputs())
+	}
+	for r := uint64(0); r < 1<<16; r += 97 {
+		out := evalWord(c, []int{w}, []uint64{r}).Uint64()
+		idx := out & 15
+		valid := out >> 4 & 1
+		if r == 0 {
+			if valid != 0 {
+				t.Fatalf("priority(0): valid = %d", valid)
+			}
+			continue
+		}
+		want := uint64(63 - uint(leadingZeros64(r)))
+		if valid != 1 || idx != want {
+			t.Fatalf("priority(%b): idx %d valid %d, want %d", r, idx, valid, want)
+		}
+	}
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	for x>>63 == 0 && n < 64 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+func TestDecoder(t *testing.T) {
+	n := 4
+	c := Decoder(n)
+	if c.NumInputs() != n || c.NumOutputs() != 16 {
+		t.Fatalf("dec%d: %d PI %d PO", n, c.NumInputs(), c.NumOutputs())
+	}
+	for a := uint64(0); a < 16; a++ {
+		out := evalWord(c, []int{n}, []uint64{a}).Uint64()
+		if out != 1<<a {
+			t.Fatalf("dec(%d) = %b, want one-hot bit %d", a, out, a)
+		}
+	}
+}
+
+func TestComparator(t *testing.T) {
+	n := 5
+	c := Comparator(n)
+	for a := uint64(0); a < 32; a += 3 {
+		for b := uint64(0); b < 32; b += 2 {
+			out := evalWord(c, []int{n, n}, []uint64{a, b}).Uint64()
+			lt, eq, gt := out&1, out>>1&1, out>>2&1
+			if (lt == 1) != (a < b) || (eq == 1) != (a == b) || (gt == 1) != (a > b) {
+				t.Fatalf("cmp(%d,%d) = lt%d eq%d gt%d", a, b, lt, eq, gt)
+			}
+		}
+	}
+}
+
+func TestParity(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 12} {
+		c := Parity(n)
+		mask := uint64(1)<<uint(n) - 1
+		for a := uint64(0); a <= mask; a += 1 + mask/17 {
+			want := uint64(popcount(a)) & 1
+			if got := evalWord(c, []int{n}, []uint64{a}).Uint64(); got != want {
+				t.Fatalf("parity%d(%b) = %d, want %d", n, a, got, want)
+			}
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestInt2Float(t *testing.T) {
+	c := Int2Float(11, 3, 4)
+	if c.NumInputs() != 11 || c.NumOutputs() != 7 {
+		t.Fatalf("int2float: %d PI %d PO", c.NumInputs(), c.NumOutputs())
+	}
+	for _, x := range []uint64{0, 1, 2, 3, 5, 16, 100, 1023, 2047} {
+		out := evalWord(c, []int{11}, []uint64{x}).Uint64()
+		man := out & 15
+		exp := out >> 4 & 7
+		if x == 0 {
+			if exp != 0 || man != 0 {
+				t.Fatalf("int2float(0) = man %d exp %d", man, exp)
+			}
+			continue
+		}
+		lead := 63 - leadingZeros64(x)
+		wantExp := uint64(lead)
+		if wantExp > 7 {
+			wantExp = 7
+		}
+		if exp != wantExp {
+			t.Fatalf("int2float(%d): exp %d, want %d", x, exp, wantExp)
+		}
+		// mantissa: 4 bits after the leading one (toward LSB), zero-padded
+		var wantMan uint64
+		for j := 0; j < 4; j++ {
+			src := lead - (4 - j)
+			if src >= 0 && x>>uint(src)&1 == 1 {
+				wantMan |= 1 << uint(j)
+			}
+		}
+		if man != wantMan {
+			t.Fatalf("int2float(%d): man %b, want %b", x, man, wantMan)
+		}
+	}
+}
+
+func TestRouter(t *testing.T) {
+	c := Router(8, true)
+	if c.NumInputs() != 24 || c.NumOutputs() != 9 {
+		t.Fatalf("router: %d PI %d PO", c.NumInputs(), c.NumOutputs())
+	}
+	f := func(a, b, g uint64) bool {
+		a &= 255
+		b &= 255
+		g &= 255
+		out := evalWord(c, []int{8, 8, 8}, []uint64{a, b, g}).Uint64()
+		want := (a & g) | (b &^ g)
+		tag := uint64(popcount(want)) & 1
+		return out == want|tag<<8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSinApproxStructure(t *testing.T) {
+	c := SinApprox(6)
+	if c.NumInputs() != 6 || c.NumOutputs() != 7 {
+		t.Fatalf("sin: %d PI %d PO", c.NumInputs(), c.NumOutputs())
+	}
+	// Behavioural check of the documented polynomial: y = (x - (x^3 mod
+	// 2^12)/8 mod 2^6-ish two's complement window). Verify against direct
+	// computation.
+	for x := uint64(0); x < 64; x++ {
+		out := evalWord(c, []int{6}, []uint64{x}).Uint64()
+		cube := (x * ((x * x) & 63)) // x * (x^2 mod 2^6)
+		sub := (cube >> 3) & 63
+		want := (x - sub) & 127 // 6 bits + sign
+		if got := out & 127; got != want {
+			t.Fatalf("sin(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestControlLogicDeterministic(t *testing.T) {
+	a := ControlLogic("ctrl", 7, 26, 6, 42)
+	b := ControlLogic("ctrl", 7, 26, 6, 42)
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatal("ControlLogic not deterministic in node count")
+	}
+	for x := uint64(0); x < 128; x++ {
+		if a.EvalUint(x) != b.EvalUint(x) {
+			t.Fatalf("ControlLogic not deterministic at input %d", x)
+		}
+	}
+	if a.NumInputs() != 7 || a.NumOutputs() != 26 {
+		t.Fatalf("ctrl: %d PI %d PO", a.NumInputs(), a.NumOutputs())
+	}
+}
+
+func TestSuiteBuildsAndValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite construction is slow in -short mode")
+	}
+	want := map[string][2]int{
+		"adder32": {64, 33}, "adder64": {128, 65}, "adder128": {256, 129},
+		"mult10": {20, 20}, "mult12": {24, 24}, "mult14": {28, 28},
+		"mult15": {30, 30}, "mult16": {32, 32},
+		"ctrl": {7, 26}, "cavlc": {10, 11}, "dec": {8, 256},
+		"int2float": {11, 7}, "barshift": {135, 128}, "sin": {24, 25},
+		"priority": {128, 8},
+		"binsqrd":  {16, 18}, "absdiff": {16, 8}, "butterfly": {32, 34},
+	}
+	for _, b := range Suite() {
+		c := b.Build()
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if io, ok := want[b.Name]; ok {
+			if c.NumInputs() != io[0] || c.NumOutputs() != io[1] {
+				t.Errorf("%s: %d PI %d PO, want %d/%d (Table III)",
+					b.Name, c.NumInputs(), c.NumOutputs(), io[0], io[1])
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("adder32")
+	if err != nil || c.NumInputs() != 64 {
+		t.Fatalf("ByName(adder32): %v", err)
+	}
+	c, err = ByName("adder8")
+	if err != nil || c.NumInputs() != 16 {
+		t.Fatalf("ByName(adder8): %v", err)
+	}
+	c, err = ByName("mult6")
+	if err != nil || c.NumInputs() != 12 {
+		t.Fatalf("ByName(mult6): %v", err)
+	}
+	if _, err = ByName("nonsense"); err == nil {
+		t.Fatal("ByName(nonsense) should fail")
+	}
+}

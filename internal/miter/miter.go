@@ -1,0 +1,235 @@
+// Package miter builds the approximation miters of Section II-B: circuits
+// whose outputs encode the deviation function F(y(x), y'(x)) between an
+// exact circuit and an approximate circuit sharing the same inputs.
+//
+//   - ER constructs the single-output error-rate miter (F_ER, Eq. 2);
+//   - MED constructs the multi-output mean-error-distance miter whose m
+//     output bits encode |int(y) - int(y')| in binary (F_MED, Eq. 3);
+//   - HD constructs the bitwise-difference miter used for the mean
+//     Hamming distance;
+//   - Threshold constructs a single-output miter asserting
+//     |int(y) - int(y')| > T (the MACACO-style cumulative metric).
+//
+// Split slices a multi-output miter into single-output sub-miters, one
+// per deviation bit, each containing only its own logic cone.
+package miter
+
+import (
+	"fmt"
+	"math/big"
+
+	"vacsem/internal/circuit"
+)
+
+// checkPair validates that exact and approx are a verifiable pair.
+func checkPair(exact, approx *circuit.Circuit) error {
+	if err := exact.Validate(); err != nil {
+		return fmt.Errorf("miter: exact: %w", err)
+	}
+	if err := approx.Validate(); err != nil {
+		return fmt.Errorf("miter: approx: %w", err)
+	}
+	if exact.NumInputs() != approx.NumInputs() {
+		return fmt.Errorf("miter: input count mismatch: exact %d, approx %d",
+			exact.NumInputs(), approx.NumInputs())
+	}
+	if exact.NumOutputs() != approx.NumOutputs() {
+		return fmt.Errorf("miter: output count mismatch: exact %d, approx %d",
+			exact.NumOutputs(), approx.NumOutputs())
+	}
+	if exact.NumOutputs() == 0 {
+		return fmt.Errorf("miter: circuits have no outputs")
+	}
+	return nil
+}
+
+// base instantiates both circuits over a shared set of inputs and returns
+// the miter-in-progress plus the output node ids of each side.
+func base(exact, approx *circuit.Circuit, name string) (*circuit.Circuit, []int, []int) {
+	m := circuit.New(name)
+	inputs := make([]int, exact.NumInputs())
+	for i := range inputs {
+		nm := exact.Nodes[exact.Inputs[i]].Name
+		if nm == "" {
+			nm = fmt.Sprintf("x%d", i)
+		}
+		inputs[i] = m.AddInput(nm)
+	}
+	yE := circuit.Append(m, exact, inputs)
+	yA := circuit.Append(m, approx, inputs)
+	return m, yE, yA
+}
+
+// ER builds the error-rate miter: a single output that is 1 exactly when
+// the two circuits disagree on at least one output bit.
+func ER(exact, approx *circuit.Circuit) (*circuit.Circuit, error) {
+	if err := checkPair(exact, approx); err != nil {
+		return nil, err
+	}
+	m, yE, yA := base(exact, approx, exact.Name+"_er_miter")
+	diffs := make([]int, len(yE))
+	for j := range yE {
+		diffs[j] = m.AddGate(circuit.Xor, yE[j], yA[j])
+	}
+	out := orTree(m, diffs)
+	m.AddOutput(out, "f1")
+	return m, nil
+}
+
+// HD builds the Hamming-distance miter: output j is 1 when the circuits
+// disagree on output bit j. The mean Hamming distance is the sum of the
+// per-output signal probabilities.
+func HD(exact, approx *circuit.Circuit) (*circuit.Circuit, error) {
+	if err := checkPair(exact, approx); err != nil {
+		return nil, err
+	}
+	m, yE, yA := base(exact, approx, exact.Name+"_hd_miter")
+	for j := range yE {
+		d := m.AddGate(circuit.Xor, yE[j], yA[j])
+		m.AddOutput(d, fmt.Sprintf("d%d", j))
+	}
+	return m, nil
+}
+
+// MED builds the mean-error-distance miter. Outputs f_1 .. f_O encode
+// the absolute difference |int(y) - int(y')| in binary, least significant
+// bit first (Eq. 3); output j has weight 2^(j-1).
+//
+// The construction subtracts the two output words in two's complement
+// over O+1 bits and conditionally negates on the sign bit, using ripple
+// full adders.
+func MED(exact, approx *circuit.Circuit) (*circuit.Circuit, error) {
+	if err := checkPair(exact, approx); err != nil {
+		return nil, err
+	}
+	m, yE, yA := base(exact, approx, exact.Name+"_med_miter")
+	abs := absDiff(m, yE, yA)
+	for j, id := range abs {
+		m.AddOutput(id, fmt.Sprintf("f%d", j+1))
+	}
+	return m, nil
+}
+
+// Threshold builds a single-output miter that is 1 exactly when
+// |int(y) - int(y')| > t. Varying t yields the cumulative distribution of
+// the deviation (the MACACO approach).
+func Threshold(exact, approx *circuit.Circuit, t *big.Int) (*circuit.Circuit, error) {
+	if err := checkPair(exact, approx); err != nil {
+		return nil, err
+	}
+	if t.Sign() < 0 {
+		return nil, fmt.Errorf("miter: negative threshold %v", t)
+	}
+	m, yE, yA := base(exact, approx, exact.Name+"_thr_miter")
+	abs := absDiff(m, yE, yA)
+	// abs > t  <=>  greater-than comparator against the constant t.
+	out := gtConst(m, abs, t)
+	m.AddOutput(out, "f1")
+	return m, nil
+}
+
+// absDiff returns nodes encoding |int(a) - int(b)| (width = len(a)).
+func absDiff(m *circuit.Circuit, a, b []int) []int {
+	o := len(a)
+	// d = a + ~b + 1 over o+1 bits (a, b zero-extended). The final carry
+	// out of bit o is the (inverted) sign: d fits in o+1 bits signed.
+	carry := m.Const1() // +1 of the two's complement
+	diff := make([]int, o+1)
+	for j := 0; j < o+1; j++ {
+		var aj, bj int
+		if j < o {
+			aj = a[j]
+			bj = m.AddGate(circuit.Not, b[j])
+		} else {
+			aj = 0          // zero extension of a
+			bj = m.Const1() // ~0 of b's zero extension
+		}
+		sum, cout := fullAdder(m, aj, bj, carry)
+		diff[j] = sum
+		carry = cout
+	}
+	sign := diff[o] // 1 means negative (a < b)
+	// abs = (diff ^ sign) + sign, over o bits (the result fits o bits).
+	carry = sign
+	abs := make([]int, o)
+	for j := 0; j < o; j++ {
+		x := m.AddGate(circuit.Xor, diff[j], sign)
+		sum, cout := halfAdder(m, x, carry)
+		abs[j] = sum
+		carry = cout
+	}
+	return abs
+}
+
+// fullAdder returns (sum, carry) nodes of a+b+c.
+func fullAdder(m *circuit.Circuit, a, b, c int) (int, int) {
+	s1 := m.AddGate(circuit.Xor, a, b)
+	sum := m.AddGate(circuit.Xor, s1, c)
+	cout := m.AddGate(circuit.Maj, a, b, c)
+	return sum, cout
+}
+
+// halfAdder returns (sum, carry) nodes of a+b.
+func halfAdder(m *circuit.Circuit, a, b int) (int, int) {
+	return m.AddGate(circuit.Xor, a, b), m.AddGate(circuit.And, a, b)
+}
+
+// gtConst builds a comparator node: bits > t (bits LSB-first).
+func gtConst(m *circuit.Circuit, bits []int, t *big.Int) int {
+	// gt_j = bits[j] & ~t_j | (bits[j] == t_j) & gt_{j-1}, scanning from
+	// LSB to MSB; final gt is the answer.
+	gt := 0 // const0: empty prefix is equal, not greater
+	for j := 0; j < len(bits); j++ {
+		tj := t.Bit(j) == 1
+		eq := 0
+		var here int
+		if tj {
+			here = 0 // bit 1 vs 1 cannot be greater at this position
+			eq = bits[j]
+		} else {
+			here = bits[j]
+			eq = m.AddGate(circuit.Not, bits[j])
+		}
+		keep := m.AddGate(circuit.And, eq, gt)
+		if here == 0 {
+			gt = keep
+		} else {
+			gt = m.AddGate(circuit.Or, here, keep)
+		}
+	}
+	if t.BitLen() > len(bits) {
+		return 0 // t has high bits beyond the representable deviation
+	}
+	return gt
+}
+
+// orTree reduces nodes with a balanced OR tree (single node in, itself out).
+func orTree(m *circuit.Circuit, ids []int) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	for len(ids) > 1 {
+		var next []int
+		for i := 0; i+1 < len(ids); i += 2 {
+			next = append(next, m.AddGate(circuit.Or, ids[i], ids[i+1]))
+		}
+		if len(ids)%2 == 1 {
+			next = append(next, ids[len(ids)-1])
+		}
+		ids = next
+	}
+	return ids[0]
+}
+
+// Split extracts one single-output sub-miter per output of m, each
+// restricted to its own logic cone (Phase 1's "split the approximation
+// miter into m sub-miters").
+func Split(m *circuit.Circuit) []*circuit.Circuit {
+	subs := make([]*circuit.Circuit, m.NumOutputs())
+	for j := range subs {
+		sub, _ := m.ExtractCone(j)
+		sub.Name = fmt.Sprintf("%s_f%d", m.Name, j+1)
+		subs[j] = sub
+	}
+	return subs
+}

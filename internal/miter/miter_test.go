@@ -1,0 +1,200 @@
+package miter
+
+import (
+	"math/big"
+	"testing"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/gen"
+	"vacsem/internal/testutil"
+)
+
+// behav evaluates the two circuits on one packed input pattern and
+// returns (int(y), int(y')).
+func behav(exact, approx *circuit.Circuit, x *big.Int) (*big.Int, *big.Int) {
+	return exact.EvalBig(x), approx.EvalBig(x)
+}
+
+func approxOf(c *circuit.Circuit, seed int64) *circuit.Circuit {
+	a := c.Clone()
+	for id := len(a.Nodes) - 1; id > 0; id-- {
+		nd := &a.Nodes[id]
+		if nd.Kind.IsGate() && len(nd.Fanins) > 0 {
+			nd.Fanins[0] = int(seed) % id
+			return a
+		}
+	}
+	return a
+}
+
+func forEachPattern(nIn int, f func(x *big.Int)) {
+	for v := uint64(0); v < 1<<uint(nIn); v++ {
+		x := new(big.Int).SetUint64(v)
+		f(x)
+	}
+}
+
+func TestERMiterSemantics(t *testing.T) {
+	for seed := int64(1); seed < 12; seed++ {
+		exact := testutil.RandomCircuit(5, 15, 3, seed)
+		approx := approxOf(exact, seed*3+1)
+		m, err := ER(exact, approx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if m.NumOutputs() != 1 || m.NumInputs() != 5 {
+			t.Fatalf("ER miter interface: %d/%d", m.NumInputs(), m.NumOutputs())
+		}
+		forEachPattern(5, func(x *big.Int) {
+			ye, ya := behav(exact, approx, x)
+			want := ye.Cmp(ya) != 0
+			got := m.EvalBig(x).Bit(0) == 1
+			if got != want {
+				t.Fatalf("seed %d x=%v: miter %v, want %v", seed, x, got, want)
+			}
+		})
+	}
+}
+
+func TestMEDMiterEncodesAbsDiff(t *testing.T) {
+	for seed := int64(1); seed < 12; seed++ {
+		exact := testutil.RandomCircuit(5, 12, 3, seed+20)
+		approx := approxOf(exact, seed*7+2)
+		m, err := MED(exact, approx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumOutputs() != exact.NumOutputs() {
+			t.Fatalf("MED miter must have O outputs, got %d", m.NumOutputs())
+		}
+		forEachPattern(5, func(x *big.Int) {
+			ye, ya := behav(exact, approx, x)
+			want := new(big.Int).Sub(ye, ya)
+			want.Abs(want)
+			got := m.EvalBig(x)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("seed %d x=%v: |dev| = %v, want %v", seed, x, got, want)
+			}
+		})
+	}
+}
+
+func TestHDMiterSemantics(t *testing.T) {
+	exact := testutil.RandomCircuit(4, 10, 4, 5)
+	approx := approxOf(exact, 3)
+	m, err := HD(exact, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachPattern(4, func(x *big.Int) {
+		ye, ya := behav(exact, approx, x)
+		diff := new(big.Int).Xor(ye, ya)
+		got := m.EvalBig(x)
+		if got.Cmp(diff) != 0 {
+			t.Fatalf("x=%v: HD bits %v, want %v", x, got, diff)
+		}
+	})
+}
+
+func TestThresholdMiterSemantics(t *testing.T) {
+	exact := testutil.RandomCircuit(5, 12, 3, 9)
+	approx := approxOf(exact, 11)
+	for _, thr := range []int64{0, 1, 2, 5, 7, 100} {
+		tb := big.NewInt(thr)
+		m, err := Threshold(exact, approx, tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forEachPattern(5, func(x *big.Int) {
+			ye, ya := behav(exact, approx, x)
+			d := new(big.Int).Sub(ye, ya)
+			d.Abs(d)
+			want := d.Cmp(tb) > 0
+			got := m.EvalBig(x).Bit(0) == 1
+			if got != want {
+				t.Fatalf("t=%d x=%v: got %v, want %v (|dev|=%v)", thr, x, got, want, d)
+			}
+		})
+	}
+}
+
+func TestThresholdRejectsNegative(t *testing.T) {
+	c := gen.RippleCarryAdder(2)
+	if _, err := Threshold(c, c.Clone(), big.NewInt(-1)); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestMiterChecksInterfaces(t *testing.T) {
+	a := testutil.RandomCircuit(4, 8, 2, 1)
+	b := testutil.RandomCircuit(5, 8, 2, 1)
+	if _, err := ER(a, b); err == nil {
+		t.Error("input mismatch accepted")
+	}
+	c := testutil.RandomCircuit(4, 8, 3, 1)
+	if _, err := MED(a, c); err == nil {
+		t.Error("output mismatch accepted")
+	}
+	empty := circuit.New("empty")
+	empty2 := circuit.New("empty2")
+	if _, err := ER(empty, empty2); err == nil {
+		t.Error("output-less circuits accepted")
+	}
+}
+
+func TestSplitConesAreIndependent(t *testing.T) {
+	exact := gen.RippleCarryAdder(4)
+	approx := approxOf(exact, 3)
+	m, err := MED(exact, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := Split(m)
+	if len(subs) != m.NumOutputs() {
+		t.Fatalf("Split gave %d subs", len(subs))
+	}
+	for j, sub := range subs {
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("sub %d: %v", j, err)
+		}
+		if sub.NumOutputs() != 1 {
+			t.Fatalf("sub %d has %d outputs", j, sub.NumOutputs())
+		}
+		// Each sub-miter computes exactly bit j of the MED miter.
+		// Its inputs are a subset of the miter inputs; check by name.
+		pos := map[string]int{}
+		for i := range m.Inputs {
+			pos[m.Nodes[m.Inputs[i]].Name] = i
+		}
+		forEachPattern(m.NumInputs(), func(x *big.Int) {
+			sx := new(big.Int)
+			for i, id := range sub.Inputs {
+				p, ok := pos[sub.Nodes[id].Name]
+				if !ok {
+					t.Fatalf("sub %d input %q not in miter", j, sub.Nodes[id].Name)
+				}
+				sx.SetBit(sx, i, x.Bit(p))
+			}
+			if sub.EvalBig(sx).Bit(0) != m.EvalBig(x).Bit(j) {
+				t.Fatalf("sub %d disagrees with miter bit at x=%v", j, x)
+			}
+		})
+	}
+}
+
+func TestERMiterOfEquivalentCircuitsIsUnsat(t *testing.T) {
+	c := gen.RippleCarryAdder(3)
+	d := gen.CarryLookaheadAdder(3)
+	m, err := ER(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachPattern(6, func(x *big.Int) {
+		if m.EvalBig(x).Bit(0) != 0 {
+			t.Fatalf("equivalent adders flagged different at %v", x)
+		}
+	})
+}

@@ -1,0 +1,228 @@
+// Package sim implements the word-parallel logic simulator that VACSEM
+// embeds in its #SAT solver and uses as the exhaustive-enumeration
+// baseline. Sixty-four input patterns are evaluated per machine word; the
+// simulator streams pattern blocks so memory stays O(#nodes) regardless of
+// the input-space size.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"vacsem/internal/circuit"
+)
+
+// basePatterns[i] is the canonical simulation word of input i for the 64
+// patterns inside one block: bit p of basePatterns[i] equals bit i of the
+// pattern index p.
+var basePatterns = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// InputWord returns the simulation word of input i (0-based) for pattern
+// block `block`, under exhaustive enumeration: pattern index p (global) has
+// input i equal to bit i of p.
+func InputWord(i int, block uint64) uint64 {
+	if i < 6 {
+		return basePatterns[i]
+	}
+	if block>>(uint(i)-6)&1 == 1 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// Engine evaluates a fixed circuit on blocks of 64 patterns. The zero
+// value is not usable; create engines with NewEngine.
+type Engine struct {
+	c    *circuit.Circuit
+	vals []uint64 // one word per node
+}
+
+// NewEngine creates a simulation engine for the circuit.
+func NewEngine(c *circuit.Circuit) *Engine {
+	return &Engine{c: c, vals: make([]uint64, len(c.Nodes))}
+}
+
+// Run evaluates one block: in[i] is the simulation word of the i-th primary
+// input. After Run, node words are available through Val and output words
+// through Out.
+func (e *Engine) Run(in []uint64) {
+	c := e.c
+	if len(in) != len(c.Inputs) {
+		panic(fmt.Sprintf("sim: Run got %d input words, want %d", len(in), len(c.Inputs)))
+	}
+	v := e.vals
+	v[0] = 0
+	for i, id := range c.Inputs {
+		v[id] = in[i]
+	}
+	var args [3]uint64
+	for id := 1; id < len(c.Nodes); id++ {
+		nd := &c.Nodes[id]
+		switch nd.Kind {
+		case circuit.Input:
+			// already set
+		case circuit.And:
+			v[id] = v[nd.Fanins[0]] & v[nd.Fanins[1]]
+		case circuit.Or:
+			v[id] = v[nd.Fanins[0]] | v[nd.Fanins[1]]
+		case circuit.Xor:
+			v[id] = v[nd.Fanins[0]] ^ v[nd.Fanins[1]]
+		case circuit.Not:
+			v[id] = ^v[nd.Fanins[0]]
+		default:
+			a := args[:len(nd.Fanins)]
+			for j, f := range nd.Fanins {
+				a[j] = v[f]
+			}
+			v[id] = nd.Kind.EvalWord(a)
+		}
+	}
+}
+
+// Val returns the last simulation word of a node.
+func (e *Engine) Val(node int) uint64 { return e.vals[node] }
+
+// Out returns the last simulation word of the i-th primary output.
+func (e *Engine) Out(i int) uint64 { return e.vals[e.c.Outputs[i]] }
+
+// BlockMask returns the mask of valid pattern bits in block `block` when
+// only `total` patterns exist overall (total > block*64).
+func BlockMask(block, total uint64) uint64 {
+	rem := total - block*64
+	if rem >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << rem) - 1
+}
+
+// CountOnesExhaustive counts, for the single-output circuit c, the number
+// of input patterns (all 2^I of them) for which the output is 1. It panics
+// when the circuit has more than 62 inputs (the count would not fit the
+// iteration space); callers guard with their own limits long before that.
+func CountOnesExhaustive(c *circuit.Circuit) uint64 {
+	if len(c.Outputs) != 1 {
+		panic("sim: CountOnesExhaustive needs exactly one output")
+	}
+	counts := CountOnesPerOutput(c)
+	return counts[0]
+}
+
+// CountOnesPerOutput exhaustively counts, for every primary output, the
+// number of input patterns under which that output is 1.
+func CountOnesPerOutput(c *circuit.Circuit) []uint64 {
+	n := len(c.Inputs)
+	if n > 62 {
+		panic("sim: exhaustive enumeration beyond 62 inputs")
+	}
+	total := uint64(1) << uint(n)
+	blocks := (total + 63) / 64
+	if blocks == 0 {
+		blocks = 1
+	}
+	e := NewEngine(c)
+	in := make([]uint64, n)
+	counts := make([]uint64, len(c.Outputs))
+	for b := uint64(0); b < blocks; b++ {
+		for i := 0; i < n; i++ {
+			in[i] = InputWord(i, b)
+		}
+		e.Run(in)
+		mask := BlockMask(b, total)
+		for j := range counts {
+			counts[j] += uint64(bits.OnesCount64(e.Out(j) & mask))
+		}
+	}
+	return counts
+}
+
+// RandomVectors fills count simulation words per input from the given
+// source, returning a matrix indexed [input][word].
+func RandomVectors(nInputs, words int, rng *rand.Rand) [][]uint64 {
+	m := make([][]uint64, nInputs)
+	for i := range m {
+		row := make([]uint64, words)
+		for w := range row {
+			row[w] = rng.Uint64()
+		}
+		m[i] = row
+	}
+	return m
+}
+
+// RunMany evaluates the circuit on `words` blocks of precomputed input
+// vectors (vectors[i][w] is input i's word w) and returns the output
+// vectors indexed [output][word].
+func RunMany(c *circuit.Circuit, vectors [][]uint64, words int) [][]uint64 {
+	e := NewEngine(c)
+	out := make([][]uint64, len(c.Outputs))
+	for j := range out {
+		out[j] = make([]uint64, words)
+	}
+	in := make([]uint64, len(c.Inputs))
+	for w := 0; w < words; w++ {
+		for i := range in {
+			in[i] = vectors[i][w]
+		}
+		e.Run(in)
+		for j := range out {
+			out[j][w] = e.Out(j)
+		}
+	}
+	return out
+}
+
+// RunAllNodes evaluates the circuit on `words` blocks of precomputed
+// input vectors and returns the full per-node signatures, indexed
+// [node][word]. Signatures are the workhorse of simulation-guided
+// approximate synthesis: two nodes with close signatures are candidates
+// for substitution.
+func RunAllNodes(c *circuit.Circuit, vectors [][]uint64, words int) [][]uint64 {
+	e := NewEngine(c)
+	sigs := make([][]uint64, len(c.Nodes))
+	for id := range sigs {
+		sigs[id] = make([]uint64, words)
+	}
+	in := make([]uint64, len(c.Inputs))
+	for w := 0; w < words; w++ {
+		for i := range in {
+			in[i] = vectors[i][w]
+		}
+		e.Run(in)
+		for id := range sigs {
+			sigs[id][w] = e.vals[id]
+		}
+	}
+	return sigs
+}
+
+// SignalProbabilities estimates the probability of each node being 1 under
+// uniformly random inputs, using `words` blocks of 64 random patterns.
+func SignalProbabilities(c *circuit.Circuit, words int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEngine(c)
+	ones := make([]uint64, len(c.Nodes))
+	in := make([]uint64, len(c.Inputs))
+	for w := 0; w < words; w++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		e.Run(in)
+		for id := range ones {
+			ones[id] += uint64(bits.OnesCount64(e.vals[id]))
+		}
+	}
+	prob := make([]float64, len(c.Nodes))
+	totalPatterns := float64(words * 64)
+	for id := range prob {
+		prob[id] = float64(ones[id]) / totalPatterns
+	}
+	return prob
+}

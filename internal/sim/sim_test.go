@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/testutil"
+)
+
+func TestInputWordBasePatterns(t *testing.T) {
+	// Bit p of InputWord(i, 0) must equal bit i of pattern index p.
+	for i := 0; i < 6; i++ {
+		w := InputWord(i, 0)
+		for p := uint(0); p < 64; p++ {
+			want := p>>uint(i)&1 == 1
+			if (w>>p&1 == 1) != want {
+				t.Fatalf("InputWord(%d,0) bit %d wrong", i, p)
+			}
+		}
+	}
+	// Inputs >= 6 select on the block index.
+	if InputWord(6, 0) != 0 || InputWord(6, 1) != ^uint64(0) {
+		t.Error("InputWord block selection wrong")
+	}
+	if InputWord(8, 3) != 0 || InputWord(8, 4) != ^uint64(0) {
+		t.Error("InputWord high-bit selection wrong")
+	}
+}
+
+func TestBlockMask(t *testing.T) {
+	if BlockMask(0, 64) != ^uint64(0) {
+		t.Error("full block mask wrong")
+	}
+	if BlockMask(0, 5) != 31 {
+		t.Error("partial mask wrong")
+	}
+	if BlockMask(1, 100) != (1<<36)-1 {
+		t.Error("second block partial mask wrong")
+	}
+}
+
+// TestExhaustiveCountsMatchBrute is the simulator's core property: word-
+// parallel exhaustive counts equal per-pattern brute-force counts on
+// random circuits.
+func TestExhaustiveCountsMatchBrute(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		nIn := 1 + int(seed%9)
+		c := testutil.RandomCircuit(nIn, 4+int(seed*5%30), 3, seed)
+		want := testutil.CountOnesBrute(c)
+		got := CountOnesPerOutput(c)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("seed %d out %d: %d != %d", seed, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestCountOnesExhaustiveSingle(t *testing.T) {
+	c := circuit.New("and")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	c.AddOutput(c.AddGate(circuit.And, a, b), "y")
+	if n := CountOnesExhaustive(c); n != 1 {
+		t.Errorf("count = %d, want 1", n)
+	}
+}
+
+func TestCountOnesZeroInputCircuit(t *testing.T) {
+	c := circuit.New("const")
+	c.AddOutput(c.Const1(), "y")
+	if n := CountOnesExhaustive(c); n != 1 {
+		t.Errorf("const1 with no inputs: count = %d, want 1", n)
+	}
+}
+
+func TestEngineRunMatchesEval(t *testing.T) {
+	c := testutil.RandomCircuit(7, 25, 4, 11)
+	e := NewEngine(c)
+	rng := rand.New(rand.NewSource(5))
+	in := make([]uint64, 7)
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	e.Run(in)
+	for bit := 0; bit < 64; bit += 5 {
+		args := make([]bool, 7)
+		for i := range args {
+			args[i] = in[i]>>uint(bit)&1 == 1
+		}
+		out := c.Eval(args)
+		for j := range out {
+			if (e.Out(j)>>uint(bit)&1 == 1) != out[j] {
+				t.Fatalf("bit %d output %d mismatch", bit, j)
+			}
+		}
+	}
+}
+
+func TestRunManyAndRunAllNodes(t *testing.T) {
+	c := testutil.RandomCircuit(6, 20, 2, 3)
+	rng := rand.New(rand.NewSource(9))
+	const words = 8
+	vectors := RandomVectors(6, words, rng)
+	outs := RunMany(c, vectors, words)
+	sigs := RunAllNodes(c, vectors, words)
+	for j, o := range c.Outputs {
+		for w := 0; w < words; w++ {
+			if outs[j][w] != sigs[o][w] {
+				t.Fatalf("RunMany and RunAllNodes disagree at out %d word %d", j, w)
+			}
+		}
+	}
+	// Input signatures must echo the vectors.
+	for i, id := range c.Inputs {
+		for w := 0; w < words; w++ {
+			if sigs[id][w] != vectors[i][w] {
+				t.Fatalf("input %d signature differs from vector", i)
+			}
+		}
+	}
+}
+
+func TestSignalProbabilities(t *testing.T) {
+	// XOR of two inputs has probability 1/2; AND has 1/4.
+	c := circuit.New("p")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	x := c.AddGate(circuit.Xor, a, b)
+	g := c.AddGate(circuit.And, a, b)
+	c.AddOutput(x, "x")
+	c.AddOutput(g, "g")
+	p := SignalProbabilities(c, 512, 1)
+	if p[x] < 0.45 || p[x] > 0.55 {
+		t.Errorf("P(xor) = %v, want ~0.5", p[x])
+	}
+	if p[g] < 0.2 || p[g] > 0.3 {
+		t.Errorf("P(and) = %v, want ~0.25", p[g])
+	}
+	if p[0] != 0 {
+		t.Errorf("P(const0) = %v", p[0])
+	}
+}
+
+// Property: counting ones of an OR over independent inputs obeys
+// inclusion-exclusion (spot sanity via quick).
+func TestOrCountProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := 1 + int(nRaw%8)
+		c := circuit.New("or")
+		cur := c.AddInput("")
+		for i := 1; i < n; i++ {
+			cur = c.AddGate(circuit.Or, cur, c.AddInput(""))
+		}
+		c.AddOutput(cur, "y")
+		want := uint64(1)<<uint(n) - 1 // all patterns except all-zero
+		return CountOnesExhaustive(c) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+package synth
+
+import (
+	"testing"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/gen"
+	"vacsem/internal/testutil"
+)
+
+// TestRebuildPreservesFunction is the synthesis safety property: every
+// pass must keep the primary-output functions bit-exact.
+func TestRebuildPreservesFunction(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		c := testutil.RandomCircuit(3+int(seed%6), 5+int(seed*3%40), 1+int(seed%3), seed)
+		r := Rebuild(c)
+		if err := r.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !testutil.SameFunction(c, r) {
+			t.Fatalf("seed %d: Rebuild changed the function", seed)
+		}
+	}
+}
+
+func TestCompressPreservesFunction(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		c := testutil.RandomCircuit(4+int(seed%5), 10+int(seed*5%50), 2, seed+100)
+		r := Compress(c)
+		if !testutil.SameFunction(c, r) {
+			t.Fatalf("seed %d: Compress changed the function", seed)
+		}
+	}
+}
+
+func TestCompressShrinksRedundantLogic(t *testing.T) {
+	// Build a circuit with obvious redundancy: two identical AND cones
+	// OR-ed together must collapse to one.
+	c := circuit.New("red")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(circuit.And, a, b)
+	g2 := c.AddGate(circuit.And, a, b)
+	o := c.AddGate(circuit.Or, g1, g2)
+	c.AddOutput(o, "y")
+	r := Compress(c)
+	if r.NumGates() != 1 {
+		t.Errorf("redundant logic not collapsed: %d gates", r.NumGates())
+	}
+}
+
+func TestConstantPropagation(t *testing.T) {
+	c := circuit.New("k")
+	a := c.AddInput("a")
+	one := c.Const1()
+	g1 := c.AddGate(circuit.And, a, one) // = a
+	g2 := c.AddGate(circuit.Xor, g1, 0)  // = a
+	g3 := c.AddGate(circuit.Or, g2, one) // = 1
+	c.AddOutput(g3, "y")
+	r := Compress(c)
+	out := r.Outputs[0]
+	if !(r.Nodes[out].Kind == circuit.Not && r.Nodes[out].Fanins[0] == 0) {
+		t.Errorf("output should fold to const1, got %v", r.Nodes[out].Kind)
+	}
+	// Only the Not(const0) node representing constant 1 may remain.
+	if r.NumGates() > 1 {
+		t.Errorf("all gates should fold away, got %d", r.NumGates())
+	}
+}
+
+func TestInverterPairElimination(t *testing.T) {
+	c := circuit.New("inv")
+	a := c.AddInput("a")
+	n1 := c.AddGate(circuit.Not, a)
+	n2 := c.AddGate(circuit.Not, n1)
+	g := c.AddGate(circuit.And, n2, a) // = a
+	c.AddOutput(g, "y")
+	r := Compress(c)
+	if r.NumGates() != 0 {
+		t.Errorf("double negation not eliminated: %d gates", r.NumGates())
+	}
+	if r.Outputs[0] != r.Inputs[0] {
+		t.Errorf("output should be the input itself")
+	}
+}
+
+func TestXorExtraction(t *testing.T) {
+	// (a & ~b) | (~a & b) must become a single XOR.
+	c := circuit.New("x")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	na := c.AddGate(circuit.Not, a)
+	nb := c.AddGate(circuit.Not, b)
+	t1 := c.AddGate(circuit.And, a, nb)
+	t2 := c.AddGate(circuit.And, na, b)
+	o := c.AddGate(circuit.Or, t1, t2)
+	c.AddOutput(o, "y")
+	r := Compress(c)
+	if !testutil.SameFunction(c, r) {
+		t.Fatal("function changed")
+	}
+	if r.NumGates() > 1 {
+		t.Errorf("XOR not extracted: %d gates", r.NumGates())
+	}
+}
+
+func TestMuxSimplifications(t *testing.T) {
+	c := circuit.New("m")
+	s := c.AddInput("s")
+	a := c.AddInput("a")
+	// Mux(s, a, a) = a
+	m1 := c.AddGate(circuit.Mux, s, a, a)
+	// Mux(s, 0, 1) = s
+	m2 := c.AddGate(circuit.Mux, s, 0, c.Const1())
+	g := c.AddGate(circuit.And, m1, m2) // = a & s
+	c.AddOutput(g, "y")
+	r := Compress(c)
+	if !testutil.SameFunction(c, r) {
+		t.Fatal("function changed")
+	}
+	if r.NumGates() != 1 {
+		t.Errorf("mux rules missed: %d gates, want 1", r.NumGates())
+	}
+}
+
+func TestSweepKeepsInputs(t *testing.T) {
+	c := circuit.New("d")
+	a := c.AddInput("a")
+	b := c.AddInput("b") // unused input must survive
+	g := c.AddGate(circuit.Not, a)
+	c.AddGate(circuit.And, a, b) // dangling gate must go
+	c.AddOutput(g, "y")
+	r := Sweep(c)
+	if r.NumInputs() != 2 {
+		t.Errorf("Sweep dropped inputs: %d", r.NumInputs())
+	}
+	if r.NumGates() != 1 {
+		t.Errorf("Sweep kept dangling logic: %d gates", r.NumGates())
+	}
+}
+
+func TestCompressOnMiterLikeCircuit(t *testing.T) {
+	// An adder XOR-compared with itself folds to constant 0.
+	add := gen.RippleCarryAdder(4)
+	c := circuit.New("self")
+	ins := make([]int, add.NumInputs())
+	for i := range ins {
+		ins[i] = c.AddInput("")
+	}
+	o1 := circuit.Append(c, add, ins)
+	o2 := circuit.Append(c, add, ins)
+	var acc int
+	for j := range o1 {
+		x := c.AddGate(circuit.Xor, o1[j], o2[j])
+		if j == 0 {
+			acc = x
+		} else {
+			acc = c.AddGate(circuit.Or, acc, x)
+		}
+	}
+	c.AddOutput(acc, "f")
+	r := Compress(c)
+	if r.Outputs[0] != 0 {
+		t.Errorf("self-miter should collapse to const0, got node %d (%v)",
+			r.Outputs[0], r.Nodes[r.Outputs[0]].Kind)
+	}
+}
+
+func TestToAIG(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		c := testutil.RandomCircuit(4+int(seed%4), 8+int(seed*3%30), 2, seed+55)
+		a := ToAIG(c)
+		if !testutil.SameFunction(c, a) {
+			t.Fatalf("seed %d: ToAIG changed the function", seed)
+		}
+		for id, nd := range a.Nodes {
+			switch nd.Kind {
+			case circuit.Const0, circuit.Input, circuit.And, circuit.Not, circuit.Buf:
+			default:
+				t.Fatalf("seed %d: node %d has non-AIG kind %v", seed, id, nd.Kind)
+			}
+		}
+		if AndCount(a) < 0 {
+			t.Fatal("AndCount negative")
+		}
+	}
+}
+
+func TestAndCount(t *testing.T) {
+	c := gen.RippleCarryAdder(8)
+	a := ToAIG(c)
+	n := AndCount(a)
+	if n == 0 {
+		t.Fatal("adder AIG has no AND nodes")
+	}
+	// A full adder is ~7-9 ANDs; 8 bits should be within sane bounds.
+	if n > 200 {
+		t.Errorf("adder8 AIG suspiciously large: %d ANDs", n)
+	}
+}
+
+func TestCompressIsIdempotentOnSize(t *testing.T) {
+	c := testutil.RandomCircuit(6, 60, 2, 77)
+	r1 := Compress(c)
+	r2 := Compress(r1)
+	if r2.NumNodes() > r1.NumNodes() {
+		t.Errorf("Compress grew a compressed circuit: %d -> %d",
+			r1.NumNodes(), r2.NumNodes())
+	}
+}

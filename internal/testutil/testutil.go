@@ -1,0 +1,105 @@
+// Package testutil provides shared helpers for the test suites: seeded
+// random circuit generation and brute-force reference computations.
+package testutil
+
+import (
+	"math/rand"
+
+	"vacsem/internal/circuit"
+)
+
+// gateKinds are the kinds RandomCircuit draws from.
+var gateKinds = []circuit.Kind{
+	circuit.And, circuit.Nand, circuit.Or, circuit.Nor,
+	circuit.Xor, circuit.Xnor, circuit.Not, circuit.Buf,
+	circuit.Mux, circuit.Maj,
+}
+
+// RandomCircuit builds a seeded random circuit with nIn inputs, nGates
+// gates and nOut outputs. Gate fanins are drawn from all earlier nodes,
+// biased toward recent ones so the circuit has depth.
+func RandomCircuit(nIn, nGates, nOut int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New("rand")
+	for i := 0; i < nIn; i++ {
+		c.AddInput("")
+	}
+	pick := func() int {
+		n := c.NumNodes()
+		if rng.Intn(3) == 0 {
+			return rng.Intn(n)
+		}
+		// bias toward the most recent half
+		lo := n / 2
+		return lo + rng.Intn(n-lo)
+	}
+	for g := 0; g < nGates; g++ {
+		k := gateKinds[rng.Intn(len(gateKinds))]
+		fi := make([]int, k.FaninCount())
+		for j := range fi {
+			fi[j] = pick()
+		}
+		c.AddGate(k, fi...)
+	}
+	for o := 0; o < nOut; o++ {
+		// prefer late nodes as outputs
+		n := c.NumNodes()
+		id := n - 1 - rng.Intn((n+1)/2)
+		if id < 0 {
+			id = 0
+		}
+		c.AddOutput(id, "")
+	}
+	return c
+}
+
+// CountOnesBrute counts, for each output of c, the input patterns that set
+// it to 1 by evaluating every pattern individually (independent of the
+// word-parallel simulator, so the two can cross-check each other).
+func CountOnesBrute(c *circuit.Circuit) []uint64 {
+	n := c.NumInputs()
+	if n > 24 {
+		panic("testutil: CountOnesBrute beyond 24 inputs")
+	}
+	counts := make([]uint64, c.NumOutputs())
+	in := make([]bool, n)
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		for i := range in {
+			in[i] = x>>uint(i)&1 == 1
+		}
+		out := c.Eval(in)
+		for j, b := range out {
+			if b {
+				counts[j]++
+			}
+		}
+	}
+	return counts
+}
+
+// SameFunction reports whether two circuits with identical input counts
+// compute the same outputs on every input pattern (exhaustive; inputs
+// must be <= 20).
+func SameFunction(a, b *circuit.Circuit) bool {
+	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
+		return false
+	}
+	n := a.NumInputs()
+	if n > 20 {
+		panic("testutil: SameFunction beyond 20 inputs")
+	}
+	in := make([]bool, n)
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		for i := range in {
+			in[i] = x>>uint(i)&1 == 1
+		}
+		oa := a.Eval(in)
+		ob := b.Eval(in)
+		for j := range oa {
+			if oa[j] != ob[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+// Package verilog writes circuits as structural Verilog netlists —
+// the format downstream EDA flows consume. Only writing is supported
+// (parsing general Verilog is out of scope; use BLIF or AIGER as the
+// input formats).
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+
+	"vacsem/internal/circuit"
+)
+
+var identRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_$]*$`)
+
+// sanitize makes a safe Verilog identifier out of a signal name.
+func sanitize(name string, fallback string) string {
+	if identRe.MatchString(name) && !reserved[name] {
+		return name
+	}
+	return fallback
+}
+
+// reserved lists Verilog keywords that must not be used as identifiers.
+var reserved = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"wire": true, "assign": true, "reg": true, "begin": true, "end": true,
+	"not": true, "and": true, "or": true, "xor": true, "nand": true,
+	"nor": true, "xnor": true, "buf": true,
+}
+
+// Write serializes the circuit as a structural Verilog module using
+// continuous assignments.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+
+	name := sanitize(c.Name, "top")
+	sig := make([]string, len(c.Nodes))
+	used := map[string]bool{}
+	claim := func(want, fallback string) string {
+		s := sanitize(want, fallback)
+		if s == "" || used[s] {
+			s = fallback
+		}
+		used[s] = true
+		return s
+	}
+	for _, id := range c.Inputs {
+		sig[id] = claim(c.Nodes[id].Name, fmt.Sprintf("pi%d", id))
+	}
+	mark := c.ConeMark(c.Outputs...)
+	for id := 1; id < len(c.Nodes); id++ {
+		if c.Nodes[id].Kind == circuit.Input || !mark[id] {
+			continue
+		}
+		sig[id] = claim("", fmt.Sprintf("n%d", id))
+	}
+	outName := make([]string, c.NumOutputs())
+	for i := range c.Outputs {
+		outName[i] = claim(c.OutputName(i), fmt.Sprintf("po%d", i))
+	}
+
+	fmt.Fprintf(bw, "module %s(", name)
+	for i, id := range c.Inputs {
+		if i > 0 {
+			bw.WriteString(", ")
+		}
+		bw.WriteString(sig[id])
+	}
+	for i := range c.Outputs {
+		if len(c.Inputs) > 0 || i > 0 {
+			bw.WriteString(", ")
+		}
+		bw.WriteString(outName[i])
+	}
+	bw.WriteString(");\n")
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "  input %s;\n", sig[id])
+	}
+	for i := range c.Outputs {
+		fmt.Fprintf(bw, "  output %s;\n", outName[i])
+	}
+	for id := 1; id < len(c.Nodes); id++ {
+		if c.Nodes[id].Kind == circuit.Input || !mark[id] {
+			continue
+		}
+		fmt.Fprintf(bw, "  wire %s;\n", sig[id])
+	}
+	// Constant reference.
+	sig[0] = "1'b0"
+
+	expr := func(id int) string { return sig[id] }
+	for id := 1; id < len(c.Nodes); id++ {
+		nd := &c.Nodes[id]
+		if nd.Kind == circuit.Input || !mark[id] {
+			continue
+		}
+		var rhs string
+		fi := nd.Fanins
+		switch nd.Kind {
+		case circuit.Buf:
+			rhs = expr(fi[0])
+		case circuit.Not:
+			rhs = "~" + expr(fi[0])
+		case circuit.And:
+			rhs = expr(fi[0]) + " & " + expr(fi[1])
+		case circuit.Nand:
+			rhs = "~(" + expr(fi[0]) + " & " + expr(fi[1]) + ")"
+		case circuit.Or:
+			rhs = expr(fi[0]) + " | " + expr(fi[1])
+		case circuit.Nor:
+			rhs = "~(" + expr(fi[0]) + " | " + expr(fi[1]) + ")"
+		case circuit.Xor:
+			rhs = expr(fi[0]) + " ^ " + expr(fi[1])
+		case circuit.Xnor:
+			rhs = "~(" + expr(fi[0]) + " ^ " + expr(fi[1]) + ")"
+		case circuit.Mux:
+			rhs = expr(fi[0]) + " ? " + expr(fi[2]) + " : " + expr(fi[1])
+		case circuit.Maj:
+			a, b, cc := expr(fi[0]), expr(fi[1]), expr(fi[2])
+			rhs = fmt.Sprintf("(%s & %s) | (%s & %s) | (%s & %s)", a, b, a, cc, b, cc)
+		default:
+			return fmt.Errorf("verilog: unsupported kind %v", nd.Kind)
+		}
+		fmt.Fprintf(bw, "  assign %s = %s;\n", sig[id], rhs)
+	}
+	for i, o := range c.Outputs {
+		src := sig[o]
+		if o == 0 {
+			src = "1'b0"
+		}
+		fmt.Fprintf(bw, "  assign %s = %s;\n", outName[i], src)
+	}
+	bw.WriteString("endmodule\n")
+	return bw.Flush()
+}

@@ -1,0 +1,139 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/gen"
+	"vacsem/internal/testutil"
+)
+
+func TestWriteBasicStructure(t *testing.T) {
+	c := circuit.New("adder_top")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	s := c.AddGate(circuit.Xor, a, b)
+	co := c.AddGate(circuit.And, a, b)
+	c.AddOutput(s, "sum")
+	c.AddOutput(co, "carry")
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module adder_top(a, b, sum, carry);",
+		"input a;", "input b;", "output sum;", "output carry;",
+		"^", "&", "endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q in:\n%s", want, v)
+		}
+	}
+}
+
+func TestWriteAllKinds(t *testing.T) {
+	c := circuit.New("kinds")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	ids := []int{
+		c.AddGate(circuit.Buf, a),
+		c.AddGate(circuit.Not, a),
+		c.AddGate(circuit.And, a, b),
+		c.AddGate(circuit.Nand, a, b),
+		c.AddGate(circuit.Or, a, b),
+		c.AddGate(circuit.Nor, a, b),
+		c.AddGate(circuit.Xor, a, b),
+		c.AddGate(circuit.Xnor, a, b),
+		c.AddGate(circuit.Mux, a, b, d),
+		c.AddGate(circuit.Maj, a, b, d),
+	}
+	for i, id := range ids {
+		c.AddOutput(id, "")
+		_ = i
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "?") {
+		t.Error("mux not rendered as ternary")
+	}
+}
+
+func TestWriteSanitizesNames(t *testing.T) {
+	c := circuit.New("1bad name")
+	a := c.AddInput("in[0]")  // illegal identifier
+	b := c.AddInput("module") // reserved word
+	g := c.AddGate(circuit.And, a, b)
+	c.AddOutput(g, "out put")
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	if strings.Contains(v, "in[0]") || strings.Contains(v, "out put") {
+		t.Errorf("illegal identifiers leaked:\n%s", v)
+	}
+	if !strings.Contains(v, "module top(") {
+		t.Errorf("module name not sanitized:\n%s", v)
+	}
+}
+
+func TestWriteConstOutput(t *testing.T) {
+	c := circuit.New("k")
+	c.AddInput("a")
+	c.AddOutput(0, "zero")
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "assign zero = 1'b0;") {
+		t.Errorf("const output wrong:\n%s", buf.String())
+	}
+}
+
+// TestWriteIsSyntacticallyPlausible does a light well-formedness check
+// on generated arithmetic circuits: balanced module/endmodule, every
+// wire assigned exactly once.
+func TestWriteIsSyntacticallyPlausible(t *testing.T) {
+	for _, c := range []*circuit.Circuit{
+		gen.RippleCarryAdder(8),
+		gen.ArrayMultiplier(4),
+		testutil.RandomCircuit(6, 30, 3, 5),
+	} {
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		v := buf.String()
+		if strings.Count(v, "module ") != 1 || strings.Count(v, "endmodule") != 1 {
+			t.Errorf("%s: module structure wrong", c.Name)
+		}
+		assigned := map[string]bool{}
+		for _, line := range strings.Split(v, "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "assign ") {
+				continue
+			}
+			lhs := strings.TrimSpace(strings.SplitN(strings.TrimPrefix(line, "assign "), "=", 2)[0])
+			if assigned[lhs] {
+				t.Errorf("%s: %s assigned twice", c.Name, lhs)
+			}
+			assigned[lhs] = true
+		}
+		// Every declared wire must be driven.
+		for _, line := range strings.Split(v, "\n") {
+			line = strings.TrimSpace(line)
+			if strings.HasPrefix(line, "wire ") {
+				w := strings.TrimSuffix(strings.TrimPrefix(line, "wire "), ";")
+				if !assigned[w] {
+					t.Errorf("%s: wire %s undriven", c.Name, w)
+				}
+			}
+		}
+	}
+}

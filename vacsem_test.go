@@ -1,0 +1,252 @@
+package vacsem_test
+
+// Integration tests of the public API: the flows a downstream adopter
+// would write, cross-checked between engines and against closed-form
+// expectations.
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"vacsem"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	exact := vacsem.RippleCarryAdder(8)
+	approx := vacsem.LowerORAdder(8, 3)
+	er, err := vacsem.VerifyER(exact, approx, vacsem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enum, err := vacsem.VerifyER(exact, approx, vacsem.Options{Method: vacsem.MethodEnum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpll, err := vacsem.VerifyER(exact, approx, vacsem.Options{Method: vacsem.MethodDPLL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Value.Cmp(enum.Value) != 0 || er.Value.Cmp(dpll.Value) != 0 {
+		t.Fatalf("engines disagree: %v %v %v", er.Value, dpll.Value, enum.Value)
+	}
+	if er.Value.Sign() <= 0 || er.Value.Cmp(big.NewRat(1, 1)) >= 0 {
+		t.Errorf("LOA ER out of (0,1): %v", er.Value)
+	}
+}
+
+func TestPublicWideAdderER(t *testing.T) {
+	// The paper's headline scale: adders way beyond enumeration. A
+	// truncated 64-bit adder (k=1): the result's bit0 is 0 while the
+	// true bit0 is a0 XOR b0, and the carry into bit 1 is dropped when
+	// a0&b0; exact ER is computable in closed form: error iff
+	// (a0 XOR b0) OR (a0 AND b0) = a0 OR b0, so ER = 3/4.
+	exact := vacsem.RippleCarryAdder(64)
+	approx := truncatedAdder(t, 64, 1)
+	r, err := vacsem.VerifyER(exact, approx, vacsem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value.Cmp(big.NewRat(3, 4)) != 0 {
+		t.Errorf("64-bit truncated adder ER = %v, want 3/4", r.Value)
+	}
+	if r.NumInputs != 128 {
+		t.Errorf("NumInputs = %d", r.NumInputs)
+	}
+}
+
+// truncatedAdder builds, via the public API only, an n-bit adder whose
+// low k output bits are 0 and whose carry chain starts at bit k.
+func truncatedAdder(t *testing.T, n, k int) *vacsem.Circuit {
+	t.Helper()
+	c := vacsem.NewCircuit("trunc")
+	ins := make([]int, 2*n)
+	for i := range ins {
+		ins[i] = c.AddInput("")
+	}
+	full := vacsem.RippleCarryAdder(n - k)
+	sub := make([]int, 2*(n-k))
+	copy(sub, ins[k:n])
+	copy(sub[n-k:], ins[n+k:])
+	outs := vacsem.AppendCircuit(c, full, sub)
+	for j := 0; j < k; j++ {
+		c.AddOutput(0, "")
+	}
+	for _, o := range outs {
+		c.AddOutput(o, "")
+	}
+	return c
+}
+
+func TestPublicMEDClosedForm(t *testing.T) {
+	// Truncated k=1 adder: deviation = (a0 + b0), E = 1/4*0+1/2*1+1/4*2 = 1.
+	exact := vacsem.RippleCarryAdder(16)
+	approx := truncatedAdder(t, 16, 1)
+	r, err := vacsem.VerifyMED(exact, approx, vacsem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("MED = %v, want 1", r.Value)
+	}
+}
+
+func TestPublicMultiplierFlow(t *testing.T) {
+	exact := vacsem.ArrayMultiplier(5)
+	approx := vacsem.TruncatedMultiplier(5, 2)
+	v, err := vacsem.VerifyER(exact, approx, vacsem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := vacsem.VerifyER(exact, approx, vacsem.Options{Method: vacsem.MethodEnum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value.Cmp(e.Value) != 0 {
+		t.Fatalf("vacsem %v != enum %v", v.Value, e.Value)
+	}
+}
+
+func TestPublicThresholdMonotone(t *testing.T) {
+	exact := vacsem.ArrayMultiplier(4)
+	approx := vacsem.TruncatedMultiplier(4, 3)
+	prev := big.NewRat(2, 1)
+	for _, tv := range []int64{0, 1, 3, 7, 15} {
+		r, err := vacsem.VerifyThresholdProb(exact, approx, big.NewInt(tv), vacsem.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Value.Cmp(prev) > 0 {
+			t.Errorf("P(dev>%d) = %v not monotone decreasing", tv, r.Value)
+		}
+		prev = r.Value
+	}
+}
+
+func TestPublicApproximateAndBenchmarks(t *testing.T) {
+	for _, name := range []string{"absdiff", "mac", "int2float"} {
+		exact, err := vacsem.BenchmarkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx := vacsem.Approximate(exact, vacsem.ALSConfig{Seed: 1, TargetER: 0.02, RequireError: true})
+		r, err := vacsem.VerifyER(exact, approx, vacsem.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Value.Sign() <= 0 {
+			t.Errorf("%s: RequireError produced zero-error circuit", name)
+		}
+		if r.Value.Cmp(big.NewRat(1, 4)) > 0 {
+			t.Errorf("%s: ER %v far beyond 0.02 budget", name, r.Value)
+		}
+	}
+}
+
+func TestPublicFileRoundTrips(t *testing.T) {
+	c := vacsem.ArrayMultiplier(3)
+	var blifBuf, aagBuf bytes.Buffer
+	if err := vacsem.WriteBLIF(&blifBuf, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := vacsem.WriteAIGER(&aagBuf, c); err != nil {
+		t.Fatal(err)
+	}
+	fromBlif, err := vacsem.ReadBLIF(bytes.NewReader(blifBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromAag, err := vacsem.ReadAIGER(bytes.NewReader(aagBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three must verify ER=0 against each other.
+	for _, other := range []*vacsem.Circuit{fromBlif, fromAag} {
+		r, err := vacsem.VerifyER(c, other, vacsem.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Value.Sign() != 0 {
+			t.Errorf("round-tripped circuit differs: ER = %v", r.Value)
+		}
+	}
+}
+
+func TestPublicCompressPreservesER(t *testing.T) {
+	exact := vacsem.ArrayMultiplier(4)
+	approx := vacsem.TruncatedMultiplier(4, 2)
+	before, err := vacsem.VerifyER(exact, approx, vacsem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := vacsem.VerifyER(vacsem.Compress(exact), vacsem.Compress(approx), vacsem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Value.Cmp(after.Value) != 0 {
+		t.Errorf("Compress changed ER: %v -> %v", before.Value, after.Value)
+	}
+}
+
+func TestPublicToAIGPreservesER(t *testing.T) {
+	exact := vacsem.RippleCarryAdder(6)
+	approx := vacsem.LowerORAdder(6, 2)
+	a, err := vacsem.VerifyER(exact, approx, vacsem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := vacsem.VerifyER(vacsem.ToAIG(exact), vacsem.ToAIG(approx), vacsem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value.Cmp(b.Value) != 0 {
+		t.Errorf("ToAIG changed ER: %v -> %v", a.Value, b.Value)
+	}
+}
+
+func TestPublicBiasedAndConditional(t *testing.T) {
+	exact := vacsem.RippleCarryAdder(4)
+	approx := vacsem.LowerORAdder(4, 2)
+	biases := make([]vacsem.Bias, 8)
+	for i := range biases {
+		biases[i] = vacsem.UniformBias()
+	}
+	biased, err := vacsem.VerifyERBiased(exact, approx, biases, vacsem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := vacsem.VerifyER(exact, approx, vacsem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if biased.Value.Cmp(plain.Value) != 0 {
+		t.Errorf("uniform biases changed ER: %v vs %v", biased.Value, plain.Value)
+	}
+
+	cond := vacsem.NewCircuit("always")
+	for i := 0; i < 8; i++ {
+		cond.AddInput("")
+	}
+	cond.AddOutput(cond.Const1(), "c")
+	condER, err := vacsem.VerifyERConditional(exact, approx, cond, vacsem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if condER.Value.Cmp(plain.Value) != 0 {
+		t.Errorf("trivial condition changed ER: %v vs %v", condER.Value, plain.Value)
+	}
+}
+
+func TestPublicTimeoutSurface(t *testing.T) {
+	exact := vacsem.ArrayMultiplier(10)
+	approx := vacsem.TruncatedMultiplier(10, 5)
+	_, err := vacsem.VerifyER(exact, approx, vacsem.Options{Method: vacsem.MethodDPLL, TimeLimit: 1})
+	if err != vacsem.ErrTimeout {
+		t.Errorf("expected ErrTimeout, got %v", err)
+	}
+	wide := vacsem.RippleCarryAdder(64)
+	_, err = vacsem.VerifyER(wide, vacsem.LowerORAdder(64, 2), vacsem.Options{Method: vacsem.MethodEnum})
+	if err != vacsem.ErrTooLarge {
+		t.Errorf("expected ErrTooLarge, got %v", err)
+	}
+}
