@@ -31,9 +31,10 @@ func main() {
 	full := flag.Bool("full", false, "use the paper's full-size circuits (slow)")
 	versions := flag.Int("versions", 0, "approximate versions per benchmark (default 3, 10 with -full)")
 	timeLimit := flag.Duration("timelimit", 0, "per-verification time limit (default 30s, 4h with -full)")
+	workers := flag.Int("workers", 1, "concurrent sub-miter solvers per run (0 = one per CPU; 1 reproduces the paper's single-thread timings)")
 	flag.Parse()
 
-	cfg := bench.Config{Full: *full, Versions: *versions, TimeLimit: *timeLimit}
+	cfg := bench.Config{Full: *full, Versions: *versions, TimeLimit: *timeLimit, Workers: *workers}
 	want := func(t string) bool { return *table == "all" || *table == t }
 	ran := false
 

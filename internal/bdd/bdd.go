@@ -11,6 +11,7 @@
 package bdd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -44,6 +45,9 @@ type Manager struct {
 	unique  map[node]Ref
 	iteMemo map[[3]Ref]Ref
 	limit   int
+
+	ctx   context.Context // cancellation source (nil = none)
+	ticks uint32
 }
 
 // New creates a manager for numVars variables with the given node
@@ -67,6 +71,32 @@ func New(numVars, limit int) *Manager {
 
 // NumNodes returns the live node count (including the two terminals).
 func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// SetContext installs a cancellation source: every ITE apply polls it
+// (every few thousand recursion steps) and aborts with the context's
+// error. A nil context disables polling.
+func (m *Manager) SetContext(ctx context.Context) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // uncancellable context: skip the polling cost
+	}
+	m.ctx = ctx
+}
+
+// poll checks the installed context once every 4096 calls. It sits at
+// the top of the ITE recursion — the apply hot loop — so cancelling the
+// context stops even an exploding diagram build within one interval.
+func (m *Manager) poll() error {
+	if m.ctx == nil {
+		return nil
+	}
+	m.ticks++
+	if m.ticks&4095 == 0 {
+		if err := m.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Var returns the BDD of variable i.
 func (m *Manager) Var(i int) (Ref, error) {
@@ -114,6 +144,9 @@ func (m *Manager) Xor(f, g Ref) (Ref, error) {
 
 // ITE computes if-then-else(f, g, h), the universal BDD operation.
 func (m *Manager) ITE(f, g, h Ref) (Ref, error) {
+	if err := m.poll(); err != nil {
+		return 0, err
+	}
 	// Terminal cases.
 	switch {
 	case f == True:
@@ -226,6 +259,14 @@ func (m *Manager) Size(f Ref) int {
 // when the diagram explodes past the manager's budget.
 func (m *Manager) BuildOutputs(c *circuit.Circuit) ([]Ref, error) {
 	return m.BuildOutputsOrdered(c, nil)
+}
+
+// BuildOutputsCtx is BuildOutputsOrdered with cooperative cancellation:
+// the apply loop polls ctx and aborts with its error mid-build.
+func (m *Manager) BuildOutputsCtx(ctx context.Context, c *circuit.Circuit, pos []int) ([]Ref, error) {
+	m.SetContext(ctx)
+	defer m.SetContext(nil)
+	return m.BuildOutputsOrdered(c, pos)
 }
 
 // DFSOrder computes the classic static variable order: inputs in

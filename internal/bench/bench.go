@@ -37,6 +37,10 @@ type Config struct {
 	TimeLimit time.Duration
 	// Methods to compare; nil means all three.
 	Methods []core.Method
+	// Workers bounds concurrent sub-miter solving per verification
+	// (0 = one per CPU). Counts are identical at any worker count;
+	// runtimes improve on multi-output (MED) miters.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -299,7 +303,7 @@ func RunTable(specs []Spec, metric Metric, cfg Config) []Row {
 			cell := Cell{}
 			logSum, completed := 0.0, 0
 			for _, approx := range spec.Approx {
-				opt := core.Options{Method: m, TimeLimit: cfg.TimeLimit}
+				opt := core.Options{Method: m, TimeLimit: cfg.TimeLimit, Workers: cfg.Workers}
 				var res *core.Result
 				var err error
 				switch metric {
@@ -393,7 +397,7 @@ func WriteDDScalability(w io.Writer, cfg Config) {
 	fmt.Fprintf(w, "%-13s %14s %14s\n", "Instance", "BDD/s", "VACSEM/s")
 	for _, p := range points {
 		render := func(m core.Method) string {
-			opt := core.Options{Method: m, TimeLimit: cfg.TimeLimit}
+			opt := core.Options{Method: m, TimeLimit: cfg.TimeLimit, Workers: cfg.Workers}
 			start := time.Now()
 			var err error
 			if p.metric == MED {

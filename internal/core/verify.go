@@ -1,25 +1,24 @@
-// Package core orchestrates average-error verification: it ties together
-// the approximation miters (Section II-B), Phase 1 (circuit-aware CNF
-// construction: split, synthesize, encode) and Phase 2 (the
-// simulation-enhanced model counter) into the metric-level API of the
-// paper — plus the two baselines the paper compares against: the plain
-// DPLL counter (the GANAK role) and exhaustive enumeration.
+// Package core orchestrates average-error verification: it builds the
+// approximation miters (Section II-B of the paper), resolves the
+// configured method to a verification backend (internal/engine), and
+// shapes the backend's outcome into the metric-level API of the paper.
+// The four built-in backends cover the paper's contribution (the
+// simulation-enhanced counter) and its three comparison flows (plain
+// DPLL counting, exhaustive enumeration, ROBDDs).
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
-	"math/bits"
 	"time"
 
 	"vacsem/internal/bdd"
 	"vacsem/internal/circuit"
-	"vacsem/internal/cnf"
 	"vacsem/internal/counter"
+	"vacsem/internal/engine"
 	"vacsem/internal/miter"
-	"vacsem/internal/sim"
-	"vacsem/internal/synth"
 )
 
 // Method selects the verification engine.
@@ -42,7 +41,8 @@ const (
 	MethodBDD
 )
 
-// String returns the method name used in reports.
+// String returns the method name, which doubles as the backend's key in
+// the engine registry.
 func (m Method) String() string {
 	switch m {
 	case MethodVACSEM:
@@ -58,25 +58,54 @@ func (m Method) String() string {
 	}
 }
 
-// ErrTimeout is returned when the configured time limit expires before
-// verification completes.
+// MethodByName resolves a method name ("vacsem", "dpll", "ganak",
+// "enum", "bdd") to its Method value, for CLI flag parsing.
+func MethodByName(name string) (Method, error) {
+	switch name {
+	case "vacsem":
+		return MethodVACSEM, nil
+	case "dpll", "ganak":
+		return MethodDPLL, nil
+	case "enum":
+		return MethodEnum, nil
+	case "bdd":
+		return MethodBDD, nil
+	default:
+		return 0, fmt.Errorf("core: unknown method %q (backends: %v)", name, engine.Names())
+	}
+}
+
+// ErrTimeout is returned when the configured Options.TimeLimit expires
+// before verification completes. Cancellation through a caller-supplied
+// context is reported as that context's own error instead
+// (context.Canceled / context.DeadlineExceeded).
 var ErrTimeout = errors.New("core: time limit exceeded")
 
 // ErrTooLarge is returned by MethodEnum when the input space exceeds the
 // enumeration capability (more than 62 inputs).
-var ErrTooLarge = errors.New("core: input space too large for enumeration")
+var ErrTooLarge = engine.ErrTooLarge
 
 // ErrBDDTooLarge is returned by MethodBDD when the decision diagram
 // exceeds the node budget (Options.BDDNodeLimit).
 var ErrBDDTooLarge = bdd.ErrNodeLimit
 
+// ProgressEvent reports the completion of one sub-miter; see
+// engine.ProgressEvent.
+type ProgressEvent = engine.ProgressEvent
+
+// ProgressFunc observes per-sub-miter completion events; see
+// engine.ProgressFunc.
+type ProgressFunc = engine.ProgressFunc
+
 // Options configures a verification run. The zero value uses MethodVACSEM
-// with synthesis enabled and no time limit.
+// with synthesis enabled, no time limit, and one worker per CPU.
 type Options struct {
 	Method Method
 	// NoSynth skips the per-sub-miter synthesis (compress) step.
 	NoSynth bool
 	// TimeLimit bounds the entire verification (all sub-miters). 0 = none.
+	// It is applied as a context deadline; the Verify*Context variants
+	// additionally honour their caller's context.
 	TimeLimit time.Duration
 	// Alpha overrides the density-score scaling factor (default 2).
 	Alpha float64
@@ -94,19 +123,35 @@ type Options struct {
 	// BDDNodeLimit caps the decision-diagram size for MethodBDD
 	// (default 1<<22 nodes).
 	BDDNodeLimit int
+	// Workers bounds the number of sub-miters solved concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces sequential solving.
+	// Results are deterministic regardless of the worker count.
+	Workers int
+	// Progress, when non-nil, receives one event per completed
+	// sub-miter (possibly out of output order under concurrency; calls
+	// are serialized). The callback must not block.
+	Progress ProgressFunc
 }
 
-// SubResult reports one sub-miter's #SAT problem.
-type SubResult struct {
-	Output      string
-	Count       *big.Int // patterns (over all 2^I inputs) setting the bit
-	Weight      *big.Int
-	NodesBefore int
-	NodesAfter  int // after synthesis
-	Runtime     time.Duration
-	Stats       counter.Stats
-	Trivial     bool // solved by constant propagation alone
+// engineConfig maps the method-independent options onto the backend
+// configuration.
+func (o *Options) engineConfig() engine.Config {
+	return engine.Config{
+		NoSynth:         o.NoSynth,
+		Alpha:           o.Alpha,
+		MaxSimVars:      o.MaxSimVars,
+		MinSimGates:     o.MinSimGates,
+		DisableCache:    o.DisableCache,
+		DisableIBCP:     o.DisableIBCP,
+		DisableLearning: o.DisableLearning,
+		BDDNodeLimit:    o.BDDNodeLimit,
+		Workers:         o.Workers,
+	}
 }
+
+// SubResult reports one sub-miter's #SAT problem. Count is always
+// non-nil, including trivial and error paths.
+type SubResult = engine.SubResult
 
 // Result reports a verified metric.
 type Result struct {
@@ -117,6 +162,9 @@ type Result struct {
 	NumInputs int
 	Runtime   time.Duration
 	Subs      []SubResult
+	// TotalStats aggregates the counter statistics of every sub-miter
+	// (Stats.Add over Subs), so reporting layers need not re-sum fields.
+	TotalStats counter.Stats
 }
 
 // Float returns the metric value as a float64 (inexact for huge MEDs).
@@ -129,42 +177,63 @@ func (r *Result) Float() float64 {
 // patterns on which the approximate circuit's outputs differ from the
 // exact circuit's.
 func VerifyER(exact, approx *circuit.Circuit, opt Options) (*Result, error) {
+	return VerifyERContext(context.Background(), exact, approx, opt)
+}
+
+// VerifyERContext is VerifyER with cooperative cancellation.
+func VerifyERContext(ctx context.Context, exact, approx *circuit.Circuit, opt Options) (*Result, error) {
 	m, err := miter.ER(exact, approx)
 	if err != nil {
 		return nil, err
 	}
-	return verifyMiter("ER", m, uniformWeights(1), opt)
+	return verifyMiter(ctx, "ER", m, uniformWeights(1), opt)
 }
 
 // VerifyMED verifies the mean error distance (Eq. 4): the average of
 // |int(y) - int(y')| over all input patterns, treating outputs as
 // unsigned binary numbers, LSB first.
 func VerifyMED(exact, approx *circuit.Circuit, opt Options) (*Result, error) {
+	return VerifyMEDContext(context.Background(), exact, approx, opt)
+}
+
+// VerifyMEDContext is VerifyMED with cooperative cancellation.
+func VerifyMEDContext(ctx context.Context, exact, approx *circuit.Circuit, opt Options) (*Result, error) {
 	m, err := miter.MED(exact, approx)
 	if err != nil {
 		return nil, err
 	}
-	return verifyMiter("MED", m, powerWeights(m.NumOutputs()), opt)
+	return verifyMiter(ctx, "MED", m, powerWeights(m.NumOutputs()), opt)
 }
 
 // VerifyMHD verifies the mean Hamming distance: the average number of
 // output bits on which the circuits disagree.
 func VerifyMHD(exact, approx *circuit.Circuit, opt Options) (*Result, error) {
+	return VerifyMHDContext(context.Background(), exact, approx, opt)
+}
+
+// VerifyMHDContext is VerifyMHD with cooperative cancellation.
+func VerifyMHDContext(ctx context.Context, exact, approx *circuit.Circuit, opt Options) (*Result, error) {
 	m, err := miter.HD(exact, approx)
 	if err != nil {
 		return nil, err
 	}
-	return verifyMiter("MHD", m, uniformWeights(m.NumOutputs()), opt)
+	return verifyMiter(ctx, "MHD", m, uniformWeights(m.NumOutputs()), opt)
 }
 
 // VerifyThresholdProb verifies P(|int(y) - int(y')| > t), the probability
 // that the deviation exceeds a threshold (the MACACO-style metric).
 func VerifyThresholdProb(exact, approx *circuit.Circuit, t *big.Int, opt Options) (*Result, error) {
+	return VerifyThresholdProbContext(context.Background(), exact, approx, t, opt)
+}
+
+// VerifyThresholdProbContext is VerifyThresholdProb with cooperative
+// cancellation.
+func VerifyThresholdProbContext(ctx context.Context, exact, approx *circuit.Circuit, t *big.Int, opt Options) (*Result, error) {
 	m, err := miter.Threshold(exact, approx, t)
 	if err != nil {
 		return nil, err
 	}
-	r, err := verifyMiter("P(dev>t)", m, uniformWeights(1), opt)
+	r, err := verifyMiter(ctx, "P(dev>t)", m, uniformWeights(1), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -177,13 +246,18 @@ func VerifyThresholdProb(exact, approx *circuit.Circuit, t *big.Int, opt Options
 // custom average-error metrics (Section II-A: "other average error
 // metrics can also be converted into #SAT problems similarly").
 func VerifyMiter(name string, m *circuit.Circuit, weights []*big.Int, opt Options) (*Result, error) {
+	return VerifyMiterContext(context.Background(), name, m, weights, opt)
+}
+
+// VerifyMiterContext is VerifyMiter with cooperative cancellation.
+func VerifyMiterContext(ctx context.Context, name string, m *circuit.Circuit, weights []*big.Int, opt Options) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	if len(weights) != m.NumOutputs() {
 		return nil, fmt.Errorf("core: %d weights for %d outputs", len(weights), m.NumOutputs())
 	}
-	return verifyMiter(name, m, weights, opt)
+	return verifyMiter(ctx, name, m, weights, opt)
 }
 
 func uniformWeights(n int) []*big.Int {
@@ -202,181 +276,64 @@ func powerWeights(n int) []*big.Int {
 	return w
 }
 
-func verifyMiter(metric string, m *circuit.Circuit, weights []*big.Int, opt Options) (*Result, error) {
-	start := time.Now()
-	var deadline time.Time
+// withTimeLimit layers Options.TimeLimit onto the caller's context as a
+// deadline. The returned cancel func must always be called.
+func withTimeLimit(ctx context.Context, opt Options) (context.Context, context.CancelFunc) {
 	if opt.TimeLimit > 0 {
-		deadline = start.Add(opt.TimeLimit)
+		return context.WithTimeout(ctx, opt.TimeLimit)
+	}
+	return context.WithCancel(ctx)
+}
+
+// mapErr shapes backend errors for the public API: when the run's own
+// TimeLimit produced the deadline, expiry surfaces as the historical
+// ErrTimeout; every other error — including context.Canceled and
+// context.DeadlineExceeded from a caller-supplied deadline — propagates
+// verbatim. (The pre-refactor flow conflated every counter error into
+// ErrTimeout.)
+func mapErr(err error, opt Options) error {
+	if err == nil {
+		return nil
+	}
+	if opt.TimeLimit > 0 &&
+		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, counter.ErrTimeout)) {
+		return ErrTimeout
+	}
+	return err
+}
+
+// verifyMiter resolves the configured method to a backend through the
+// engine registry and runs the task — no method dispatch lives here.
+func verifyMiter(ctx context.Context, metric string, m *circuit.Circuit, weights []*big.Int, opt Options) (*Result, error) {
+	start := time.Now()
+	be, err := engine.Lookup(opt.Method.String())
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := withTimeLimit(ctx, opt)
+	defer cancel()
+	out, err := be.Solve(ctx, &engine.Task{
+		Metric:   metric,
+		Miter:    m,
+		Weights:  weights,
+		Config:   opt.engineConfig(),
+		Progress: opt.Progress,
+	})
+	if err != nil {
+		return nil, mapErr(err, opt)
 	}
 	res := &Result{
 		Metric:    metric,
 		Method:    opt.Method,
 		NumInputs: m.NumInputs(),
-		Count:     new(big.Int),
+		Count:     out.Count,
+		Subs:      out.Subs,
+		Runtime:   time.Since(start),
 	}
-	switch {
-	case opt.Method == MethodEnum:
-		if err := enumMiter(m, weights, res, deadline); err != nil {
-			return nil, err
-		}
-	case opt.Method == MethodBDD:
-		if err := bddMiter(m, weights, res, opt); err != nil {
-			return nil, err
-		}
-	default:
-		// Compress the whole miter once before splitting: the deviation
-		// bits share most of their logic (both circuit copies plus the
-		// subtractor), so per-sub-miter synthesis converges in one cheap
-		// pass afterwards.
-		work := m
-		if !opt.NoSynth {
-			work = synth.Compress(m)
-		}
-		subs := miter.Split(work)
-		for j, sub := range subs {
-			sr, err := solveSub(work, sub, j, weights[j], opt, deadline)
-			if err != nil {
-				return nil, err
-			}
-			res.Subs = append(res.Subs, sr)
-			var weighted big.Int
-			weighted.Mul(sr.Count, sr.Weight)
-			res.Count.Add(res.Count, &weighted)
-		}
+	for i := range res.Subs {
+		res.TotalStats.Add(res.Subs[i].Stats)
 	}
-	res.Runtime = time.Since(start)
 	denom := new(big.Int).Lsh(big.NewInt(1), uint(m.NumInputs()))
 	res.Value = new(big.Rat).SetFrac(new(big.Int).Set(res.Count), denom)
 	return res, nil
-}
-
-// solveSub runs Phase 1 + Phase 2 on one single-output sub-miter.
-func solveSub(m, sub *circuit.Circuit, j int, weight *big.Int, opt Options, deadline time.Time) (SubResult, error) {
-	subStart := time.Now()
-	sr := SubResult{
-		Output:      m.OutputName(j),
-		Weight:      weight,
-		NodesBefore: sub.NumGates(),
-	}
-	if !opt.NoSynth {
-		sub = synth.Compress(sub)
-	}
-	sr.NodesAfter = sub.NumGates()
-	totalInputs := m.NumInputs()
-	// Trivial outcomes after constant propagation.
-	out := sub.Outputs[0]
-	switch {
-	case out == 0:
-		sr.Count = new(big.Int)
-		sr.Trivial = true
-	case sub.Nodes[out].Kind == circuit.Not && sub.Nodes[out].Fanins[0] == 0:
-		sr.Count = new(big.Int).Lsh(big.NewInt(1), uint(totalInputs))
-		sr.Trivial = true
-	case sub.Nodes[out].Kind == circuit.Input:
-		// Output is a bare input: exactly half the patterns.
-		sr.Count = new(big.Int).Lsh(big.NewInt(1), uint(totalInputs-1))
-		sr.Trivial = true
-	default:
-		f, err := cnf.Encode(sub)
-		if err != nil {
-			return sr, err
-		}
-		cfg := counter.Config{
-			EnableSim:       opt.Method == MethodVACSEM,
-			Alpha:           opt.Alpha,
-			MaxSimVars:      opt.MaxSimVars,
-			MinSimGates:     opt.MinSimGates,
-			DisableCache:    opt.DisableCache,
-			DisableIBCP:     opt.DisableIBCP,
-			DisableLearning: opt.DisableLearning,
-		}
-		if !deadline.IsZero() {
-			rem := time.Until(deadline)
-			if rem <= 0 {
-				return sr, ErrTimeout
-			}
-			cfg.TimeLimit = rem
-		}
-		s := counter.New(f, cfg)
-		cnt, err := s.Count()
-		if err != nil {
-			return sr, ErrTimeout
-		}
-		sr.Stats = s.Stats()
-		// Scale by inputs outside the encoded cone.
-		extra := totalInputs - f.NumEncodedInputs()
-		sr.Count = new(big.Int).Lsh(cnt, uint(extra))
-	}
-	sr.Runtime = time.Since(subStart)
-	return sr, nil
-}
-
-// bddMiter verifies through decision diagrams: synthesize the miter,
-// build one ROBDD per deviation bit, and count over the diagrams — the
-// prior-art flow of the paper's references [3]-[6]. Explosion surfaces
-// as ErrBDDTooLarge.
-func bddMiter(m *circuit.Circuit, weights []*big.Int, res *Result, opt Options) error {
-	work := m
-	if !opt.NoSynth {
-		work = synth.Compress(m)
-	}
-	mgr := bdd.New(work.NumInputs(), opt.BDDNodeLimit)
-	outs, err := mgr.BuildOutputsOrdered(work, bdd.DFSOrder(work))
-	if err != nil {
-		return err
-	}
-	for j, f := range outs {
-		c := mgr.CountOnes(f)
-		res.Subs = append(res.Subs, SubResult{
-			Output: m.OutputName(j),
-			Count:  c,
-			Weight: weights[j],
-		})
-		var weighted big.Int
-		weighted.Mul(c, weights[j])
-		res.Count.Add(res.Count, &weighted)
-	}
-	return nil
-}
-
-// enumMiter exhaustively simulates the miter over all 2^I patterns,
-// accumulating per-output one-counts and combining them with the weights.
-func enumMiter(m *circuit.Circuit, weights []*big.Int, res *Result, deadline time.Time) error {
-	nIn := m.NumInputs()
-	if nIn > 62 {
-		return ErrTooLarge
-	}
-	total := uint64(1) << uint(nIn)
-	blocks := (total + 63) / 64
-	if blocks == 0 {
-		blocks = 1
-	}
-	eng := sim.NewEngine(m)
-	in := make([]uint64, nIn)
-	counts := make([]uint64, m.NumOutputs())
-	for b := uint64(0); b < blocks; b++ {
-		if !deadline.IsZero() && b&1023 == 0 && time.Now().After(deadline) {
-			return ErrTimeout
-		}
-		for i := 0; i < nIn; i++ {
-			in[i] = sim.InputWord(i, b)
-		}
-		eng.Run(in)
-		mask := sim.BlockMask(b, total)
-		for j := range counts {
-			counts[j] += uint64(bits.OnesCount64(eng.Out(j) & mask))
-		}
-	}
-	for j, cnt := range counts {
-		c := new(big.Int).SetUint64(cnt)
-		res.Subs = append(res.Subs, SubResult{
-			Output: m.OutputName(j),
-			Count:  c,
-			Weight: weights[j],
-		})
-		var weighted big.Int
-		weighted.Mul(c, weights[j])
-		res.Count.Add(res.Count, &weighted)
-	}
-	return nil
 }

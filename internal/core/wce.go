@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"time"
@@ -27,14 +28,18 @@ type WCEResult struct {
 // the simulation hook) answers with early termination. The number of
 // probes is at most the output bit-width.
 func VerifyWCE(exact, approx *circuit.Circuit, opt Options) (*WCEResult, error) {
+	return VerifyWCEContext(context.Background(), exact, approx, opt)
+}
+
+// VerifyWCEContext is VerifyWCE with cooperative cancellation: the
+// context reaches every SAT probe's decision loop.
+func VerifyWCEContext(ctx context.Context, exact, approx *circuit.Circuit, opt Options) (*WCEResult, error) {
 	start := time.Now()
-	var deadline time.Time
-	if opt.TimeLimit > 0 {
-		deadline = start.Add(opt.TimeLimit)
-	}
 	if exact.NumOutputs() != approx.NumOutputs() {
 		return nil, fmt.Errorf("core: output count mismatch")
 	}
+	ctx, cancel := withTimeLimit(ctx, opt)
+	defer cancel()
 	res := &WCEResult{WCE: new(big.Int)}
 	lo := new(big.Int)                                              // known achievable deviation
 	hi := new(big.Int).Lsh(big.NewInt(1), uint(exact.NumOutputs())) // exclusive upper bound
@@ -48,9 +53,9 @@ func VerifyWCE(exact, approx *circuit.Circuit, opt Options) (*WCEResult, error) 
 	probe := big.NewInt(1)
 	for probe.Cmp(hi) < 0 {
 		thr := new(big.Int).Sub(probe, big.NewInt(1))
-		sat, err := thresholdSat(exact, approx, thr, opt, deadline)
+		sat, err := thresholdSat(ctx, exact, approx, thr, opt)
 		if err != nil {
-			return nil, err
+			return nil, mapErr(err, opt)
 		}
 		res.SATCalls++
 		if !sat {
@@ -71,9 +76,9 @@ func VerifyWCE(exact, approx *circuit.Circuit, opt Options) (*WCEResult, error) 
 		mid.Add(mid, lo)
 		// Probe: deviation >= mid  <=>  deviation > mid-1.
 		thr := new(big.Int).Sub(mid, big.NewInt(1))
-		sat, err := thresholdSat(exact, approx, thr, opt, deadline)
+		sat, err := thresholdSat(ctx, exact, approx, thr, opt)
 		if err != nil {
-			return nil, err
+			return nil, mapErr(err, opt)
 		}
 		res.SATCalls++
 		if sat {
@@ -88,7 +93,7 @@ func VerifyWCE(exact, approx *circuit.Circuit, opt Options) (*WCEResult, error) 
 }
 
 // thresholdSat asks whether |int(y)-int(y')| > t is achievable.
-func thresholdSat(exact, approx *circuit.Circuit, t *big.Int, opt Options, deadline time.Time) (bool, error) {
+func thresholdSat(ctx context.Context, exact, approx *circuit.Circuit, t *big.Int, opt Options) (bool, error) {
 	m, err := miter.Threshold(exact, approx, t)
 	if err != nil {
 		return false, err
@@ -108,22 +113,10 @@ func thresholdSat(exact, approx *circuit.Circuit, t *big.Int, opt Options, deadl
 	if err != nil {
 		return false, err
 	}
-	cfg := counter.Config{
+	s := counter.New(f, counter.Config{
 		EnableSim:  opt.Method == MethodVACSEM,
 		Alpha:      opt.Alpha,
 		MaxSimVars: opt.MaxSimVars,
-	}
-	if !deadline.IsZero() {
-		rem := time.Until(deadline)
-		if rem <= 0 {
-			return false, ErrTimeout
-		}
-		cfg.TimeLimit = rem
-	}
-	s := counter.New(f, cfg)
-	sat, err := s.Satisfiable()
-	if err != nil {
-		return false, ErrTimeout
-	}
-	return sat, nil
+	})
+	return s.SatisfiableCtx(ctx)
 }

@@ -15,6 +15,7 @@
 package counter
 
 import (
+	"context"
 	"errors"
 	"math/big"
 	"time"
@@ -22,7 +23,10 @@ import (
 	"vacsem/internal/cnf"
 )
 
-// ErrTimeout is returned by Count when the configured time limit expires.
+// ErrTimeout is returned by Count and Satisfiable when the configured
+// Config.TimeLimit expires. The context-aware entry points (CountCtx,
+// SatisfiableCtx) report expiry as the context's own error instead
+// (context.DeadlineExceeded / context.Canceled).
 var ErrTimeout = errors.New("counter: time limit exceeded")
 
 // Config tunes the solver. The zero value is usable: it disables the
@@ -102,6 +106,22 @@ type Stats struct {
 	Learned uint64
 }
 
+// Add accumulates other into s field by field. It is the aggregation
+// primitive behind core.Result.TotalStats, so reporting layers never
+// re-sum individual fields by hand.
+func (s *Stats) Add(other Stats) {
+	s.Decisions += other.Decisions
+	s.Propagations += other.Propagations
+	s.Components += other.Components
+	s.CacheHits += other.CacheHits
+	s.CacheStores += other.CacheStores
+	s.SimCalls += other.SimCalls
+	s.SimRejected += other.SimRejected
+	s.SimPatterns += other.SimPatterns
+	s.FailedLiterals += other.FailedLiterals
+	s.Learned += other.Learned
+}
+
 const (
 	unassigned int8 = -1
 )
@@ -144,9 +164,9 @@ type Solver struct {
 	compClSet []uint32 // stamp: clause belongs to current component
 
 	stats    Stats
-	deadline time.Time
-	hasLimit bool
+	ctx      context.Context // active cancellation source (nil = none)
 	aborted  bool
+	abortErr error
 	ticks    uint32
 }
 
@@ -214,11 +234,37 @@ func (s *Solver) Stats() Stats { return s.stats }
 // over all its variables. For formulas produced by cnf.Encode this equals
 // the number of input patterns of the encoded cone that set the output to
 // 1 (the Tseitin encoding extends each satisfying input uniquely).
+//
+// Count is the legacy entry point: expiry of Config.TimeLimit surfaces
+// as ErrTimeout. Context-aware callers should use CountCtx.
 func (s *Solver) Count() (*big.Int, error) {
+	n, err := s.CountCtx(context.Background())
+	return n, legacyErr(err)
+}
+
+// legacyErr maps context-deadline expiry to the historical ErrTimeout
+// for the non-context entry points.
+func legacyErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	return err
+}
+
+// CountCtx is Count with cooperative cancellation: the solver polls
+// ctx.Err() at its decision points (every 1024 abort checks) and returns
+// the context's error — context.Canceled or context.DeadlineExceeded —
+// when the context ends before the count completes. Config.TimeLimit, if
+// set, is layered on top as a context deadline.
+func (s *Solver) CountCtx(ctx context.Context) (*big.Int, error) {
 	s.reset()
 	if s.cfg.TimeLimit > 0 {
-		s.deadline = time.Now().Add(s.cfg.TimeLimit)
-		s.hasLimit = true
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.TimeLimit)
+		defer cancel()
+	}
+	if ctx.Done() != nil {
+		s.ctx = ctx
 	}
 	// Level 0: propagate the unit clauses (and fail on empty clauses).
 	for ci, cl := range s.clauses {
@@ -242,7 +288,7 @@ func (s *Solver) Count() (*big.Int, error) {
 		return big.NewInt(0), nil
 	}
 	if s.aborted {
-		return nil, ErrTimeout
+		return nil, s.abortErr
 	}
 	free := allVars[:0]
 	for _, v := range allVars {
@@ -257,7 +303,7 @@ func (s *Solver) Count() (*big.Int, error) {
 	for _, comp := range comps {
 		r := s.solveComponent(comp)
 		if r == nil {
-			return nil, ErrTimeout
+			return nil, s.abortErr
 		}
 		total.Mul(total, r)
 		if total.Sign() == 0 {
@@ -281,23 +327,30 @@ func (s *Solver) reset() {
 	s.propQ = s.propQ[:0]
 	s.cache = make(map[string]*big.Int)
 	s.stats = Stats{}
+	s.ctx = nil
 	s.aborted = false
-	s.hasLimit = false
+	s.abortErr = nil
 	s.ticks = 0
 	s.curLevel = 0
 	s.conflictCl = -1
 }
 
+// checkAbort polls the active context every 1024 calls. It is invoked at
+// every component solve and every probe, so a cancelled context stops
+// the search within one poll interval.
 func (s *Solver) checkAbort() bool {
 	if s.aborted {
 		return true
 	}
-	if !s.hasLimit {
+	if s.ctx == nil {
 		return false
 	}
 	s.ticks++
-	if s.ticks&1023 == 0 && time.Now().After(s.deadline) {
-		s.aborted = true
+	if s.ticks&1023 == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.aborted = true
+			s.abortErr = err
+		}
 	}
 	return s.aborted
 }

@@ -1,8 +1,8 @@
 package counter
 
 import (
+	"context"
 	"math/big"
-	"time"
 )
 
 // Satisfiability mode: the same DPLL engine with early termination,
@@ -15,12 +15,24 @@ var bigZero = big.NewInt(0)
 
 // Satisfiable reports whether the formula has any satisfying
 // assignment. It resets solver state, so it can be interleaved with
-// Count calls on the same solver.
+// Count calls on the same solver. Like Count, it maps Config.TimeLimit
+// expiry to ErrTimeout; SatisfiableCtx is the context-aware form.
 func (s *Solver) Satisfiable() (bool, error) {
+	sat, err := s.SatisfiableCtx(context.Background())
+	return sat, legacyErr(err)
+}
+
+// SatisfiableCtx is Satisfiable with cooperative cancellation (see
+// CountCtx for the polling contract).
+func (s *Solver) SatisfiableCtx(ctx context.Context) (bool, error) {
 	s.reset()
 	if s.cfg.TimeLimit > 0 {
-		s.deadline = time.Now().Add(s.cfg.TimeLimit)
-		s.hasLimit = true
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.TimeLimit)
+		defer cancel()
+	}
+	if ctx.Done() != nil {
+		s.ctx = ctx
 	}
 	for ci, cl := range s.clauses {
 		switch len(cl) {
@@ -45,7 +57,7 @@ func (s *Solver) Satisfiable() (bool, error) {
 	for _, comp := range comps {
 		sat, ok := s.satComponent(comp)
 		if !ok {
-			return false, ErrTimeout
+			return false, s.abortErr
 		}
 		if !sat {
 			return false, nil

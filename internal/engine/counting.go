@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"context"
+	"math/big"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/cnf"
+	"vacsem/internal/counter"
+	"vacsem/internal/miter"
+	"vacsem/internal/synth"
+)
+
+// countingBackend runs the #SAT flow of the paper: split the miter into
+// one single-output sub-miter per deviation bit (Phase 1) and hand each
+// to the model counter (Phase 2). With enableSim it is the VACSEM
+// engine; without, the plain-DPLL baseline (the GANAK role).
+//
+// Sub-miters are independent #SAT problems, so the backend solves them
+// on a bounded worker pool (Config.Workers). Each worker builds its own
+// Solver, so counts are bit-identical to the sequential run; results
+// are collected by output index and aggregated in index order, making
+// Outcome deterministic regardless of completion order.
+type countingBackend struct {
+	name      string
+	enableSim bool
+}
+
+func (b *countingBackend) Name() string { return b.name }
+
+func (b *countingBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) {
+	// Compress the whole miter once before splitting: the deviation
+	// bits share most of their logic (both circuit copies plus the
+	// subtractor), so per-sub-miter synthesis converges in one cheap
+	// pass afterwards.
+	work := t.Miter
+	if !t.Config.NoSynth {
+		work = synth.Compress(work)
+	}
+	subs := miter.Split(work)
+	results := make([]SubResult, len(subs))
+
+	workers := t.Config.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(subs) {
+		workers = len(subs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// The pool: workers claim sub-miter indexes from an atomic cursor.
+	// The first error cancels the group's context, and every in-flight
+	// solver notices within one poll interval.
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		cursor   atomic.Int64
+		firstErr error
+		errOnce  sync.Once
+		progMu   sync.Mutex
+		doneN    int // completed sub-miters, guarded by progMu
+		wg       sync.WaitGroup
+	)
+	cursor.Store(-1)
+	solve := func() {
+		defer wg.Done()
+		for {
+			j := int(cursor.Add(1))
+			if j >= len(subs) || gctx.Err() != nil {
+				return
+			}
+			sr, err := b.solveSub(gctx, work, subs[j], j, t.Weights[j], t.Config)
+			results[j] = sr
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				cancel()
+				return
+			}
+			if t.Progress != nil {
+				progMu.Lock()
+				doneN++
+				t.Progress(ProgressEvent{
+					Metric: t.Metric, Backend: b.name,
+					Index: j, Output: sr.Output,
+					Count: sr.Count, Weight: sr.Weight,
+					Done: doneN, Total: len(subs),
+					Runtime: sr.Runtime, Stats: sr.Stats, Trivial: sr.Trivial,
+				})
+				progMu.Unlock()
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go solve()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// A worker can also stop on the parent context without recording an
+	// error (it observed gctx.Err() between sub-miters).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{Count: new(big.Int), Subs: results}
+	var weighted big.Int
+	for i := range results {
+		weighted.Mul(results[i].Count, results[i].Weight)
+		out.Count.Add(out.Count, &weighted)
+	}
+	return out, nil
+}
+
+// solveSub runs Phase 1 + Phase 2 on one single-output sub-miter.
+func (b *countingBackend) solveSub(ctx context.Context, m, sub *circuit.Circuit, j int, weight *big.Int, cfg Config) (SubResult, error) {
+	subStart := time.Now()
+	sr := SubResult{
+		Output:      m.OutputName(j),
+		Count:       new(big.Int),
+		Weight:      weight,
+		NodesBefore: sub.NumGates(),
+	}
+	if !cfg.NoSynth {
+		sub = synth.Compress(sub)
+	}
+	sr.NodesAfter = sub.NumGates()
+	totalInputs := m.NumInputs()
+	// Trivial outcomes after constant propagation.
+	out := sub.Outputs[0]
+	switch {
+	case out == 0:
+		sr.Trivial = true
+	case sub.Nodes[out].Kind == circuit.Not && sub.Nodes[out].Fanins[0] == 0:
+		sr.Count.Lsh(big.NewInt(1), uint(totalInputs))
+		sr.Trivial = true
+	case sub.Nodes[out].Kind == circuit.Input:
+		// Output is a bare input: exactly half the patterns.
+		sr.Count.Lsh(big.NewInt(1), uint(totalInputs-1))
+		sr.Trivial = true
+	default:
+		f, err := cnf.Encode(sub)
+		if err != nil {
+			return sr, err
+		}
+		s := counter.New(f, counter.Config{
+			EnableSim:       b.enableSim,
+			Alpha:           cfg.Alpha,
+			MaxSimVars:      cfg.MaxSimVars,
+			MinSimGates:     cfg.MinSimGates,
+			DisableCache:    cfg.DisableCache,
+			DisableIBCP:     cfg.DisableIBCP,
+			DisableLearning: cfg.DisableLearning,
+		})
+		cnt, err := s.CountCtx(ctx)
+		sr.Stats = s.Stats()
+		if err != nil {
+			// Propagate verbatim: context errors, encode errors and any
+			// future counter failure all keep their identity (the old
+			// flow conflated everything into a timeout).
+			return sr, err
+		}
+		// Scale by inputs outside the encoded cone.
+		extra := totalInputs - f.NumEncodedInputs()
+		sr.Count.Lsh(cnt, uint(extra))
+	}
+	sr.Runtime = time.Since(subStart)
+	return sr, nil
+}

@@ -1,0 +1,130 @@
+// Package engine is the pluggable-backend seam of the verification
+// stack. A Backend turns one deviation miter plus per-output weights
+// into a weighted model count; the four built-in backends wrap the
+// repository's existing flows (the simulation-enhanced counter, the
+// plain DPLL counter, exhaustive enumeration, and the prior-art ROBDD
+// flow) behind one interface, registered by name in a small registry.
+//
+// internal/core resolves its Options.Method through this registry
+// instead of a hard-coded switch, so new engines (sharded counting,
+// distributed backends, new metric solvers) plug in without touching
+// the metric-level orchestration.
+//
+// All backends accept a context.Context and propagate it into their hot
+// loops (the counter's decision loop, the simulator's block loop, the
+// BDD apply loop), so callers get real cooperative cancellation — not
+// just deadline expiry.
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"time"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/counter"
+)
+
+// ErrTooLarge is returned by the enumeration backend when the input
+// space exceeds the exhaustive-simulation capability (more than 62
+// inputs).
+var ErrTooLarge = errors.New("engine: input space too large for enumeration")
+
+// Config carries the method-independent tuning knobs of a verification
+// run. It mirrors core.Options minus the method selection (which picks
+// the backend) and the time limit (which arrives as a context deadline).
+type Config struct {
+	// NoSynth skips the per-sub-miter synthesis (compress) step.
+	NoSynth bool
+	// Alpha overrides the density-score scaling factor (default 2).
+	Alpha float64
+	// MaxSimVars overrides the simulation input cap (default 26).
+	MaxSimVars int
+	// MinSimGates overrides the minimum sub-circuit size the controller
+	// hands to the simulator (default 24).
+	MinSimGates int
+	// DisableCache turns off component caching (ablation).
+	DisableCache bool
+	// DisableIBCP turns off failed-literal probing (ablation).
+	DisableIBCP bool
+	// DisableLearning turns off conflict-driven clause learning (ablation).
+	DisableLearning bool
+	// BDDNodeLimit caps the decision-diagram size for the bdd backend
+	// (default 1<<22 nodes).
+	BDDNodeLimit int
+	// Workers bounds the number of sub-miters solved concurrently by
+	// backends that fan out (the counting backends). 0 means
+	// runtime.GOMAXPROCS(0); 1 forces sequential solving.
+	Workers int
+}
+
+// Task is one verification job: a deviation miter whose weighted
+// one-count is the metric numerator sum_j weights[j] * #SAT(output_j).
+type Task struct {
+	// Metric names the job in progress events ("ER", "MED", ...).
+	Metric string
+	// Miter is the deviation miter (validated, one weight per output).
+	Miter *circuit.Circuit
+	// Weights holds the per-output weights of the metric sum.
+	Weights []*big.Int
+	// Config tunes the backend.
+	Config Config
+	// Progress, when non-nil, receives one event per completed
+	// sub-miter. Events may be emitted out of output order (concurrent
+	// solving) but calls are serialized; the callback must not block.
+	Progress ProgressFunc
+}
+
+// SubResult reports one sub-miter's #SAT problem. Count is always
+// non-nil, including trivial and error paths, so reporting layers never
+// nil-check.
+type SubResult struct {
+	Output      string
+	Count       *big.Int // patterns (over all 2^I inputs) setting the bit
+	Weight      *big.Int
+	NodesBefore int
+	NodesAfter  int // after synthesis
+	Runtime     time.Duration
+	Stats       counter.Stats
+	Trivial     bool // solved by constant propagation alone
+}
+
+// Outcome is a backend's result: the weighted total count plus the
+// per-output sub-results in output order (deterministic regardless of
+// worker count).
+type Outcome struct {
+	Count *big.Int
+	Subs  []SubResult
+}
+
+// ProgressEvent reports the completion of one sub-miter.
+type ProgressEvent struct {
+	Metric  string
+	Backend string
+	// Index is the sub-miter's output index; Output its name.
+	Index  int
+	Output string
+	Count  *big.Int
+	Weight *big.Int
+	// Done counts completed sub-miters so far (including this one);
+	// Total is the number of sub-miters of the task.
+	Done, Total int
+	Runtime     time.Duration
+	Stats       counter.Stats
+	Trivial     bool
+}
+
+// ProgressFunc observes per-sub-miter completion events.
+type ProgressFunc func(ProgressEvent)
+
+// Backend solves verification tasks. Implementations must be safe for
+// concurrent use by multiple goroutines (they are registered once and
+// shared) and must honour ctx cancellation in their long-running loops.
+type Backend interface {
+	// Name is the registry key ("vacsem", "dpll", "enum", "bdd", ...).
+	Name() string
+	// Solve computes the task's weighted count. On error the partial
+	// outcome is discarded; ctx errors are returned verbatim.
+	Solve(ctx context.Context, t *Task) (*Outcome, error)
+}

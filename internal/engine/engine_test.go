@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"context"
+	"math/big"
+	"sync"
+	"testing"
+
+	"vacsem/internal/als"
+	"vacsem/internal/gen"
+	"vacsem/internal/miter"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	want := []string{"bdd", "dpll", "enum", "vacsem"}
+	got := Names()
+	if len(got) < len(want) {
+		t.Fatalf("Names() = %v, want at least %v", got, want)
+	}
+	for _, name := range want {
+		b, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if b.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, b.Name())
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("no-such-backend"); err == nil {
+		t.Fatal("Lookup of unknown backend succeeded")
+	}
+}
+
+// medTask builds the MED task of a lower-OR adder against the exact
+// ripple-carry adder: multi-output, so the counting backends fan out.
+func medTask(t *testing.T, width int) *Task {
+	t.Helper()
+	exact := gen.RippleCarryAdder(width)
+	approx := als.LowerORAdder(width, 3)
+	m, err := miter.MED(exact, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]*big.Int, m.NumOutputs())
+	for i := range weights {
+		weights[i] = new(big.Int).Lsh(big.NewInt(1), uint(i))
+	}
+	return &Task{Metric: "MED", Miter: m, Weights: weights}
+}
+
+func TestBackendsAgree(t *testing.T) {
+	task := medTask(t, 6) // 12 inputs: enum is exact ground truth
+	var want *big.Int
+	for _, name := range []string{"enum", "vacsem", "dpll", "bdd"} {
+		b, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := b.Solve(context.Background(), task)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if want == nil {
+			want = out.Count
+			continue
+		}
+		if out.Count.Cmp(want) != 0 {
+			t.Errorf("%s: count = %v, want %v", name, out.Count, want)
+		}
+		if len(out.Subs) != len(task.Weights) {
+			t.Errorf("%s: %d subs, want %d", name, len(out.Subs), len(task.Weights))
+		}
+	}
+}
+
+func TestWorkersDeterministic(t *testing.T) {
+	b, err := Lookup("vacsem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := medTask(t, 12)
+	task.Config.Workers = 1
+	seq, err := b.Solve(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task.Config.Workers = 4
+	par, err := b.Solve(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Count.Cmp(par.Count) != 0 {
+		t.Errorf("parallel count %v != sequential %v", par.Count, seq.Count)
+	}
+	if len(seq.Subs) != len(par.Subs) {
+		t.Fatalf("sub count mismatch: %d vs %d", len(seq.Subs), len(par.Subs))
+	}
+	for i := range seq.Subs {
+		if seq.Subs[i].Output != par.Subs[i].Output {
+			t.Errorf("sub %d: output order %q vs %q", i, par.Subs[i].Output, seq.Subs[i].Output)
+		}
+		if seq.Subs[i].Count.Cmp(par.Subs[i].Count) != 0 {
+			t.Errorf("sub %d (%s): count %v vs %v", i,
+				seq.Subs[i].Output, par.Subs[i].Count, seq.Subs[i].Count)
+		}
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	b, err := Lookup("vacsem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := medTask(t, 8)
+	task.Config.Workers = 4
+	var (
+		mu     sync.Mutex
+		events []ProgressEvent
+	)
+	task.Progress = func(ev ProgressEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	out, err := b.Solve(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(out.Subs) {
+		t.Fatalf("%d progress events for %d subs", len(events), len(out.Subs))
+	}
+	seenIdx := make(map[int]bool)
+	for i, ev := range events {
+		if ev.Done != i+1 {
+			t.Errorf("event %d: Done = %d, want %d", i, ev.Done, i+1)
+		}
+		if ev.Total != len(out.Subs) {
+			t.Errorf("event %d: Total = %d, want %d", i, ev.Total, len(out.Subs))
+		}
+		if seenIdx[ev.Index] {
+			t.Errorf("index %d reported twice", ev.Index)
+		}
+		seenIdx[ev.Index] = true
+		if ev.Count == nil || ev.Count.Cmp(out.Subs[ev.Index].Count) != 0 {
+			t.Errorf("event for index %d: count %v, want %v",
+				ev.Index, ev.Count, out.Subs[ev.Index].Count)
+		}
+		if ev.Backend != "vacsem" || ev.Metric != "MED" {
+			t.Errorf("event %d: backend/metric = %q/%q", i, ev.Backend, ev.Metric)
+		}
+	}
+}
+
+func TestSubResultCountNonNil(t *testing.T) {
+	// A miter whose outputs are constant after propagation exercises the
+	// trivial paths; Count must still be non-nil everywhere.
+	c := gen.RippleCarryAdder(4)
+	m, err := miter.MED(c, c.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]*big.Int, m.NumOutputs())
+	for i := range weights {
+		weights[i] = big.NewInt(1)
+	}
+	for _, name := range []string{"vacsem", "dpll", "enum", "bdd"} {
+		b, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := b.Solve(context.Background(), &Task{
+			Metric: "MED", Miter: m, Weights: weights,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Count.Sign() != 0 {
+			t.Errorf("%s: identical circuits count = %v, want 0", name, out.Count)
+		}
+		for i := range out.Subs {
+			if out.Subs[i].Count == nil {
+				t.Errorf("%s: sub %d has nil Count", name, i)
+			}
+		}
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	task := medTask(t, 10)
+	for _, name := range []string{"vacsem", "enum", "bdd"} {
+		b, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Solve(ctx, task); err != context.Canceled {
+			t.Errorf("%s with cancelled ctx: err = %v, want context.Canceled", name, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"context"
+	"math/big"
+	"time"
+
+	"vacsem/internal/sim"
+)
+
+// enumBackend verifies by exhaustive word-parallel logic simulation of
+// the miter over all 2^I input patterns — the paper's enumeration
+// baseline. One simulation pass produces every output's one-count, so
+// there is no per-sub-miter fan-out; cancellation happens inside the
+// simulator's block loop (sim.CountOnesPerOutputCtx), polled per work
+// chunk sized by gate count.
+type enumBackend struct{}
+
+func (enumBackend) Name() string { return "enum" }
+
+func (enumBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) {
+	m := t.Miter
+	if m.NumInputs() > 62 {
+		return nil, ErrTooLarge
+	}
+	start := time.Now()
+	counts, err := sim.CountOnesPerOutputCtx(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	out := &Outcome{Count: new(big.Int), Subs: make([]SubResult, len(counts))}
+	var weighted big.Int
+	for j, cnt := range counts {
+		sr := SubResult{
+			Output: m.OutputName(j),
+			Count:  new(big.Int).SetUint64(cnt),
+			Weight: t.Weights[j],
+		}
+		out.Subs[j] = sr
+		weighted.Mul(sr.Count, sr.Weight)
+		out.Count.Add(out.Count, &weighted)
+		if t.Progress != nil {
+			t.Progress(ProgressEvent{
+				Metric: t.Metric, Backend: "enum",
+				Index: j, Output: sr.Output,
+				Count: sr.Count, Weight: sr.Weight,
+				Done: j + 1, Total: len(counts),
+				Runtime: elapsed,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	backends = make(map[string]Backend)
+)
+
+// Register adds a backend under its Name, replacing any previous
+// registration (last wins, so tests and downstream packages can shadow
+// a built-in). It panics on an empty name.
+func Register(b Backend) {
+	name := b.Name()
+	if name == "" {
+		panic("engine: Register with empty backend name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	backends[name] = b
+}
+
+// Lookup resolves a backend by name.
+func Lookup(name string) (Backend, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := backends[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no backend %q (have %v)", name, namesLocked())
+	}
+	return b, nil
+}
+
+// Names lists the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(backends))
+	for n := range backends {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register(&countingBackend{name: "vacsem", enableSim: true})
+	Register(&countingBackend{name: "dpll", enableSim: false})
+	Register(enumBackend{})
+	Register(bddBackend{})
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"vacsem/internal/testutil"
+)
+
+// TestCountOnesPerOutputCtxMatches pins that the chunked, pollable loop
+// computes the same counts as the legacy exhaustive walk.
+func TestCountOnesPerOutputCtxMatches(t *testing.T) {
+	c := testutil.RandomCircuit(14, 120, 3, 99)
+	want := CountOnesPerOutput(c)
+	got, err := CountOnesPerOutputCtx(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("output %d: %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCountOnesPerOutputCtxCancel(t *testing.T) {
+	// 28 inputs: 2^22 blocks of simulation — far more than completes
+	// before the cancel fires.
+	c := testutil.RandomCircuit(28, 600, 2, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := CountOnesPerOutputCtx(ctx, c)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want a prompt return", elapsed)
+	}
+}
+
+func TestPollChunkBlocks(t *testing.T) {
+	cases := []struct {
+		gates int
+		want  uint64
+	}{
+		{0, 1024},      // clamp high when the circuit is free to evaluate
+		{1, 1024},      // 2^18 / 1 exceeds the cap
+		{1 << 18, 1},   // huge circuit: poll every block
+		{1 << 30, 1},   // clamp low
+		{1 << 10, 256}, // 2^18 / 2^10
+	}
+	for _, tc := range cases {
+		if got := pollChunkBlocks(tc.gates); got != tc.want {
+			t.Errorf("pollChunkBlocks(%d) = %d, want %d", tc.gates, got, tc.want)
+		}
+	}
+}

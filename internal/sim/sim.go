@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -118,6 +119,39 @@ func CountOnesExhaustive(c *circuit.Circuit) uint64 {
 // CountOnesPerOutput exhaustively counts, for every primary output, the
 // number of input patterns under which that output is 1.
 func CountOnesPerOutput(c *circuit.Circuit) []uint64 {
+	counts, err := CountOnesPerOutputCtx(context.Background(), c)
+	if err != nil { // unreachable: Background is never cancelled
+		panic(err)
+	}
+	return counts
+}
+
+// pollChunkBlocks sizes the cancellation-poll interval of the exhaustive
+// enumeration loop by gate count: roughly one context check per
+// targetGateEvals gate evaluations, so heavy miters poll every few
+// blocks while trivial circuits don't pay per-block poll overhead.
+// The previous fixed 1024-block interval could overshoot a deadline by
+// seconds on slow (many-gate) miters.
+func pollChunkBlocks(numGates int) uint64 {
+	const targetGateEvals = 1 << 18
+	if numGates < 1 {
+		numGates = 1
+	}
+	chunk := uint64(targetGateEvals / numGates)
+	if chunk == 0 {
+		return 1
+	}
+	if chunk > 1024 {
+		return 1024
+	}
+	return chunk
+}
+
+// CountOnesPerOutputCtx is CountOnesPerOutput with cooperative
+// cancellation: the block loop polls ctx.Err() once per work chunk,
+// where a chunk is sized so that roughly a constant number of gate
+// evaluations happens between polls regardless of circuit size.
+func CountOnesPerOutputCtx(ctx context.Context, c *circuit.Circuit) ([]uint64, error) {
 	n := len(c.Inputs)
 	if n > 62 {
 		panic("sim: exhaustive enumeration beyond 62 inputs")
@@ -127,10 +161,19 @@ func CountOnesPerOutput(c *circuit.Circuit) []uint64 {
 	if blocks == 0 {
 		blocks = 1
 	}
+	poll := uint64(0)
+	if ctx.Done() != nil {
+		poll = pollChunkBlocks(c.NumGates())
+	}
 	e := NewEngine(c)
 	in := make([]uint64, n)
 	counts := make([]uint64, len(c.Outputs))
 	for b := uint64(0); b < blocks; b++ {
+		if poll != 0 && b%poll == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for i := 0; i < n; i++ {
 			in[i] = InputWord(i, b)
 		}
@@ -140,7 +183,7 @@ func CountOnesPerOutput(c *circuit.Circuit) []uint64 {
 			counts[j] += uint64(bits.OnesCount64(e.Out(j) & mask))
 		}
 	}
-	return counts
+	return counts, nil
 }
 
 // RandomVectors fills count simulation words per input from the given

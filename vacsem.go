@@ -1,6 +1,7 @@
 package vacsem
 
 import (
+	"context"
 	"io"
 	"math/big"
 
@@ -58,16 +59,30 @@ const (
 	MethodBDD = core.MethodBDD
 )
 
-// Options configures verification; see core.Options.
+// Options configures verification; see core.Options. Notable fields:
+// Workers bounds the number of sub-miters solved concurrently (0 = one
+// per CPU; results are deterministic regardless), and Progress streams
+// per-sub-miter completion events.
 type Options = core.Options
 
-// Result reports a verified metric; see core.Result.
+// Result reports a verified metric; see core.Result. Result.TotalStats
+// aggregates the counter statistics of every sub-miter.
 type Result = core.Result
 
 // SubResult reports one per-output-bit #SAT problem.
 type SubResult = core.SubResult
 
-// ErrTimeout is returned when Options.TimeLimit expires.
+// ProgressEvent reports the completion of one sub-miter: output name,
+// count, solver statistics, runtime, and done/total progress.
+type ProgressEvent = core.ProgressEvent
+
+// ProgressFunc observes per-sub-miter completion events via
+// Options.Progress. Calls are serialized; the callback must not block.
+type ProgressFunc = core.ProgressFunc
+
+// ErrTimeout is returned when Options.TimeLimit expires. Cancellation
+// through a caller-supplied context (the Verify*Context variants) is
+// reported as the context's own error instead.
 var ErrTimeout = core.ErrTimeout
 
 // ErrTooLarge is returned by MethodEnum beyond 62 inputs.
@@ -86,9 +101,21 @@ func VerifyWCE(exact, approx *Circuit, opt Options) (*WCEResult, error) {
 	return core.VerifyWCE(exact, approx, opt)
 }
 
+// VerifyWCEContext is VerifyWCE with cooperative cancellation.
+func VerifyWCEContext(ctx context.Context, exact, approx *Circuit, opt Options) (*WCEResult, error) {
+	return core.VerifyWCEContext(ctx, exact, approx, opt)
+}
+
 // VerifyER verifies the error rate of approx against exact.
 func VerifyER(exact, approx *Circuit, opt Options) (*Result, error) {
 	return core.VerifyER(exact, approx, opt)
+}
+
+// VerifyERContext is VerifyER with cooperative cancellation: the
+// context reaches the solver's inner loops, so cancelling it aborts the
+// verification within one poll interval.
+func VerifyERContext(ctx context.Context, exact, approx *Circuit, opt Options) (*Result, error) {
+	return core.VerifyERContext(ctx, exact, approx, opt)
 }
 
 // VerifyMED verifies the mean error distance (outputs read as unsigned
@@ -97,9 +124,19 @@ func VerifyMED(exact, approx *Circuit, opt Options) (*Result, error) {
 	return core.VerifyMED(exact, approx, opt)
 }
 
+// VerifyMEDContext is VerifyMED with cooperative cancellation.
+func VerifyMEDContext(ctx context.Context, exact, approx *Circuit, opt Options) (*Result, error) {
+	return core.VerifyMEDContext(ctx, exact, approx, opt)
+}
+
 // VerifyMHD verifies the mean Hamming distance.
 func VerifyMHD(exact, approx *Circuit, opt Options) (*Result, error) {
 	return core.VerifyMHD(exact, approx, opt)
+}
+
+// VerifyMHDContext is VerifyMHD with cooperative cancellation.
+func VerifyMHDContext(ctx context.Context, exact, approx *Circuit, opt Options) (*Result, error) {
+	return core.VerifyMHDContext(ctx, exact, approx, opt)
 }
 
 // VerifyThresholdProb verifies P(|int(y) - int(y')| > t).
@@ -107,11 +144,22 @@ func VerifyThresholdProb(exact, approx *Circuit, t *big.Int, opt Options) (*Resu
 	return core.VerifyThresholdProb(exact, approx, t, opt)
 }
 
+// VerifyThresholdProbContext is VerifyThresholdProb with cooperative
+// cancellation.
+func VerifyThresholdProbContext(ctx context.Context, exact, approx *Circuit, t *big.Int, opt Options) (*Result, error) {
+	return core.VerifyThresholdProbContext(ctx, exact, approx, t, opt)
+}
+
 // VerifyMiter verifies a user-supplied deviation miter with per-output
 // weights: the metric value is sum_j weight_j * P(output_j = 1). This is
 // the extension point for custom average-error metrics.
 func VerifyMiter(name string, m *Circuit, weights []*big.Int, opt Options) (*Result, error) {
 	return core.VerifyMiter(name, m, weights, opt)
+}
+
+// VerifyMiterContext is VerifyMiter with cooperative cancellation.
+func VerifyMiterContext(ctx context.Context, name string, m *Circuit, weights []*big.Int, opt Options) (*Result, error) {
+	return core.VerifyMiterContext(ctx, name, m, weights, opt)
 }
 
 // AppendCircuit instantiates src inside dst, connecting src's primary
