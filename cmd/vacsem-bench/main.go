@@ -8,11 +8,20 @@
 // The default suite is scaled down so a complete run finishes in minutes
 // (the counter is pure Go); -full restores the paper's circuit sizes.
 //
+// Besides the text tables on stdout, every run that executes at least
+// one verification writes a machine-readable JSON report with one
+// record per individual run — including per-sub-miter wall times, which
+// the geomean tables aggregate away — plus the end-of-run metric
+// totals. The default path is BENCH_<timestamp>.json in the current
+// directory, next to the table output; -report FILE overrides it and
+// -report none disables it.
+//
 // Usage:
 //
 //	vacsem-bench -table all
 //	vacsem-bench -table 4 -versions 10 -timelimit 5m
 //	vacsem-bench -table 6 -full
+//	vacsem-bench -table 4 -trace run.jsonl -report table4.json
 package main
 
 import (
@@ -24,17 +33,48 @@ import (
 
 	"vacsem/internal/bench"
 	"vacsem/internal/core"
+	"vacsem/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	table := flag.String("table", "all", "table to regenerate: 3, 4, 5, 6, dd or all")
 	full := flag.Bool("full", false, "use the paper's full-size circuits (slow)")
 	versions := flag.Int("versions", 0, "approximate versions per benchmark (default 3, 10 with -full)")
 	timeLimit := flag.Duration("timelimit", 0, "per-verification time limit (default 30s, 4h with -full)")
 	workers := flag.Int("workers", 1, "concurrent sub-miter solvers per run (0 = one per CPU; 1 reproduces the paper's single-thread timings)")
+	report := flag.String("report", "auto", "JSON report path; auto = BENCH_<timestamp>.json, none = disabled")
+	tracePath := flag.String("trace", "", "write span/event trace (JSON lines) to this file")
+	metricsFmt := flag.String("metrics", "", "print end-of-run metrics to stderr: table or json")
+	pprofAddr := flag.String("pprof", "", "serve live net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
+	stop, err := obs.Setup(obs.CLIConfig{
+		TracePath:  *tracePath,
+		CPUProfile: *cpuProfile,
+		MemProfile: *memProfile,
+		PprofAddr:  *pprofAddr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vacsem-bench:", err)
+		return 1
+	}
+	exitCode := 0
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "vacsem-bench:", err)
+		}
+	}()
+
 	cfg := bench.Config{Full: *full, Versions: *versions, TimeLimit: *timeLimit, Workers: *workers}
+	rep := bench.NewReport(cfg, *table, time.Now())
+	cfg.OnRun = rep.Add
+
 	want := func(t string) bool { return *table == "all" || *table == t }
 	ran := false
 
@@ -73,8 +113,41 @@ func main() {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown -table %q (want 3, 4, 5, 6, dd or all)\n", *table)
-		os.Exit(2)
+		return 2
 	}
+
+	if len(rep.Runs) > 0 && *report != "none" {
+		path := *report
+		if path == "auto" {
+			path = bench.DefaultReportPath(time.Now())
+		}
+		rep.AttachMetrics()
+		if err := writeReport(rep, path); err != nil {
+			fmt.Fprintln(os.Stderr, "vacsem-bench:", err)
+			exitCode = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "report written to %s (%d runs)\n", path, len(rep.Runs))
+		}
+	}
+	if *metricsFmt != "" {
+		if err := obs.WriteMetrics(os.Stderr, *metricsFmt); err != nil {
+			fmt.Fprintln(os.Stderr, "vacsem-bench:", err)
+			exitCode = 1
+		}
+	}
+	return exitCode
+}
+
+func writeReport(rep *bench.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeTable6(rows []bench.Row, cfg bench.Config) {

@@ -8,6 +8,7 @@
 //	vacsem -metric med -exact m.aag -approx m_apx.aag -method dpll
 //	vacsem -metric thr -threshold 8 -exact a.blif -approx b.blif
 //	vacsem -metric med -exact m.aag -approx m_apx.aag -workers 8 -progress
+//	vacsem -metric er -exact a.blif -approx b.blif -trace run.jsonl -metrics table
 //
 // Methods: vacsem (simulation-enhanced counting, default), dpll (the
 // counter without simulation), enum (exhaustive simulation), bdd (the
@@ -17,6 +18,12 @@
 // results are bit-identical to the sequential run. -progress streams
 // one line per completed sub-miter. Ctrl-C cancels the verification
 // cooperatively: the solvers notice within one poll interval.
+//
+// Observability: -trace FILE streams the span/event JSONL described in
+// internal/obs; -metrics table|json dumps the metrics registry after
+// the run; -pprof ADDR serves live net/http/pprof; -cpuprofile and
+// -memprofile write pprof files. None of these change the verified
+// counts.
 package main
 
 import (
@@ -35,42 +42,94 @@ import (
 	"vacsem/internal/aiger"
 	"vacsem/internal/circuit"
 	"vacsem/internal/core"
+	"vacsem/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole CLI so that observability teardown (trace
+// flush, profile writes) happens on every exit path; os.Exit only ever
+// runs after the deferred stop.
+func run() int {
 	var (
-		metric    = flag.String("metric", "er", "metric: er, med, mhd or thr")
-		exactPath = flag.String("exact", "", "exact circuit file (.blif or .aag)")
-		apxPath   = flag.String("approx", "", "approximate circuit file (.blif or .aag)")
-		method    = flag.String("method", "vacsem", "engine: vacsem, dpll, enum or bdd")
-		threshold = flag.String("threshold", "0", "deviation threshold for -metric thr")
-		timeLimit = flag.Duration("timelimit", 0, "abort after this duration (0 = none)")
-		noSynth   = flag.Bool("nosynth", false, "skip the synthesis (compress) step")
-		alpha     = flag.Float64("alpha", 0, "density-score scaling factor (default 2)")
-		workers   = flag.Int("workers", 0, "concurrent sub-miter solvers (0 = one per CPU)")
-		progress  = flag.Bool("progress", false, "stream per-sub-miter completion events")
-		verbose   = flag.Bool("v", false, "print per-output-bit details")
+		metric     = flag.String("metric", "er", "metric: er, med, mhd or thr")
+		exactPath  = flag.String("exact", "", "exact circuit file (.blif or .aag)")
+		apxPath    = flag.String("approx", "", "approximate circuit file (.blif or .aag)")
+		method     = flag.String("method", "vacsem", "engine: vacsem, dpll, enum or bdd")
+		threshold  = flag.String("threshold", "0", "deviation threshold for -metric thr")
+		timeLimit  = flag.Duration("timelimit", 0, "abort after this duration (0 = none)")
+		noSynth    = flag.Bool("nosynth", false, "skip the synthesis (compress) step")
+		alpha      = flag.Float64("alpha", 0, "density-score scaling factor (default 2)")
+		workers    = flag.Int("workers", 0, "concurrent sub-miter solvers (0 = one per CPU)")
+		progress   = flag.Bool("progress", false, "stream per-sub-miter completion events")
+		verbose    = flag.Bool("v", false, "print per-output-bit details")
+		tracePath  = flag.String("trace", "", "write span/event trace (JSON lines) to this file")
+		metricsFmt = flag.String("metrics", "", "print end-of-run metrics: table or json")
+		pprofAddr  = flag.String("pprof", "", "serve live net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *exactPath == "" || *apxPath == "" {
 		fmt.Fprintln(os.Stderr, "vacsem: -exact and -approx are required")
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
-	exact, err := load(*exactPath)
-	fail(err)
-	approx, err := load(*apxPath)
-	fail(err)
 
-	opt := core.Options{
+	stop, err := obs.Setup(obs.CLIConfig{
+		TracePath:  *tracePath,
+		CPUProfile: *cpuProfile,
+		MemProfile: *memProfile,
+		PprofAddr:  *pprofAddr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vacsem:", err)
+		return 1
+	}
+	exitCode := 0
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "vacsem:", err)
+		}
+	}()
+
+	if err := verify(*metric, *exactPath, *apxPath, *method, *threshold, core.Options{
 		TimeLimit: *timeLimit,
 		NoSynth:   *noSynth,
 		Alpha:     *alpha,
 		Workers:   *workers,
+	}, *progress, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "vacsem:", err)
+		exitCode = 1
 	}
-	opt.Method, err = core.MethodByName(*method)
-	fail(err)
-	if *progress {
+
+	if *metricsFmt != "" {
+		if err := obs.WriteMetrics(os.Stdout, *metricsFmt); err != nil {
+			fmt.Fprintln(os.Stderr, "vacsem:", err)
+			if exitCode == 0 {
+				exitCode = 2
+			}
+		}
+	}
+	return exitCode
+}
+
+func verify(metric, exactPath, apxPath, method, threshold string, opt core.Options, progress, verbose bool) error {
+	exact, err := load(exactPath)
+	if err != nil {
+		return err
+	}
+	approx, err := load(apxPath)
+	if err != nil {
+		return err
+	}
+	opt.Method, err = core.MethodByName(method)
+	if err != nil {
+		return err
+	}
+	if progress {
 		opt.Progress = func(ev core.ProgressEvent) {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %-8s count=%s  %v (dec=%d sim=%d)\n",
 				ev.Done, ev.Total, ev.Output, ev.Count,
@@ -86,7 +145,7 @@ func main() {
 
 	start := time.Now()
 	var res *core.Result
-	switch *metric {
+	switch metric {
 	case "er":
 		res, err = core.VerifyERContext(ctx, exact, approx, opt)
 	case "med":
@@ -94,15 +153,17 @@ func main() {
 	case "mhd":
 		res, err = core.VerifyMHDContext(ctx, exact, approx, opt)
 	case "thr":
-		t, ok := new(big.Int).SetString(*threshold, 10)
+		t, ok := new(big.Int).SetString(threshold, 10)
 		if !ok || t.Sign() < 0 {
-			fail(fmt.Errorf("bad -threshold %q", *threshold))
+			return fmt.Errorf("bad -threshold %q", threshold)
 		}
 		res, err = core.VerifyThresholdProbContext(ctx, exact, approx, t, opt)
 	default:
-		fail(fmt.Errorf("unknown metric %q", *metric))
+		return fmt.Errorf("unknown metric %q", metric)
 	}
-	fail(err)
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("metric     : %s\n", res.Metric)
 	fmt.Printf("method     : %v\n", res.Method)
@@ -117,7 +178,7 @@ func main() {
 		res.TotalStats.Components, res.TotalStats.CacheHits,
 		res.TotalStats.CacheStores, res.TotalStats.SimCalls,
 		res.TotalStats.SimPatterns)
-	if *verbose {
+	if verbose {
 		for _, sub := range res.Subs {
 			fmt.Printf("  %-8s count=%-14s weight=%-10s nodes %d->%d  %v  (dec=%d sim=%d cache=%d)\n",
 				sub.Output, sub.Count, sub.Weight, sub.NodesBefore, sub.NodesAfter,
@@ -125,6 +186,7 @@ func main() {
 				sub.Stats.Decisions, sub.Stats.SimCalls, sub.Stats.CacheHits)
 		}
 	}
+	return nil
 }
 
 func load(path string) (*circuit.Circuit, error) {
@@ -138,12 +200,5 @@ func load(path string) (*circuit.Circuit, error) {
 		return aiger.Parse(f)
 	default:
 		return blif.Parse(f)
-	}
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vacsem:", err)
-		os.Exit(1)
 	}
 }

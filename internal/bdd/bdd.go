@@ -17,6 +17,14 @@ import (
 	"math/big"
 
 	"vacsem/internal/circuit"
+	"vacsem/internal/obs"
+)
+
+// Metrics of the decision-diagram flow, flushed once per BuildOutputs*
+// call (the hot ITE loop itself only bumps plain struct fields).
+var (
+	mITECalls  = obs.Default.Counter("bdd.ite_calls")
+	gNodesPeak = obs.Default.Gauge("bdd.nodes_peak")
 )
 
 // ErrNodeLimit is returned when a manager exceeds its node budget — the
@@ -48,6 +56,15 @@ type Manager struct {
 
 	ctx   context.Context // cancellation source (nil = none)
 	ticks uint32
+
+	// observability state: plain fields (the manager is single-goroutine)
+	// flushed to the registry per build. growthNext is the node count at
+	// which the next bdd_growth trace event fires (doubling thresholds,
+	// so even an exploding build emits only ~log2(limit) events).
+	iteCalls    uint64
+	iteReported uint64
+	span        obs.SpanID
+	growthNext  int
 }
 
 // New creates a manager for numVars variables with the given node
@@ -57,11 +74,12 @@ func New(numVars, limit int) *Manager {
 		limit = 1 << 22
 	}
 	m := &Manager{
-		numVars: numVars,
-		nodes:   make([]node, 2, 1024),
-		unique:  make(map[node]Ref),
-		iteMemo: make(map[[3]Ref]Ref),
-		limit:   limit,
+		numVars:    numVars,
+		nodes:      make([]node, 2, 1024),
+		unique:     make(map[node]Ref),
+		iteMemo:    make(map[[3]Ref]Ref),
+		limit:      limit,
+		growthNext: 1024,
 	}
 	// Terminals: level = numVars (below all variables).
 	m.nodes[False] = node{level: int32(numVars)}
@@ -76,11 +94,16 @@ func (m *Manager) NumNodes() int { return len(m.nodes) }
 // (every few thousand recursion steps) and aborts with the context's
 // error. A nil context disables polling.
 func (m *Manager) SetContext(ctx context.Context) {
+	m.span = obs.SpanFrom(ctx) // parent span for growth events
 	if ctx != nil && ctx.Done() == nil {
 		ctx = nil // uncancellable context: skip the polling cost
 	}
 	m.ctx = ctx
 }
+
+// ITECalls returns the number of ITE apply invocations (including memo
+// hits) since the manager was created.
+func (m *Manager) ITECalls() uint64 { return m.iteCalls }
 
 // poll checks the installed context once every 4096 calls. It sits at
 // the top of the ITE recursion — the apply hot loop — so cancelling the
@@ -121,6 +144,14 @@ func (m *Manager) mk(level int32, low, high Ref) (Ref, error) {
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, key)
 	m.unique[key] = r
+	if len(m.nodes) >= m.growthNext {
+		m.growthNext *= 2
+		if tr := obs.Active(); tr != nil {
+			tr.Event(m.span, "bdd_growth", obs.Fields{
+				"nodes": len(m.nodes), "ite_calls": m.iteCalls, "limit": m.limit,
+			})
+		}
+	}
 	return r, nil
 }
 
@@ -144,6 +175,7 @@ func (m *Manager) Xor(f, g Ref) (Ref, error) {
 
 // ITE computes if-then-else(f, g, h), the universal BDD operation.
 func (m *Manager) ITE(f, g, h Ref) (Ref, error) {
+	m.iteCalls++
 	if err := m.poll(); err != nil {
 		return 0, err
 	}
@@ -319,6 +351,7 @@ func DFSOrder(c *circuit.Circuit) []int {
 // pos[i] is the BDD level of circuit input i (nil means declaration
 // order).
 func (m *Manager) BuildOutputsOrdered(c *circuit.Circuit, pos []int) ([]Ref, error) {
+	defer m.flushObs()
 	if c.NumInputs() != m.numVars {
 		return nil, fmt.Errorf("bdd: circuit has %d inputs, manager %d vars",
 			c.NumInputs(), m.numVars)
@@ -406,4 +439,12 @@ func (m *Manager) BuildOutputsOrdered(c *circuit.Circuit, pos []int) ([]Ref, err
 		outs[j] = refs[o]
 	}
 	return outs, nil
+}
+
+// flushObs pushes the ITE-call delta since the previous flush and the
+// node high-water mark into the default metrics registry.
+func (m *Manager) flushObs() {
+	mITECalls.Add(m.iteCalls - m.iteReported)
+	m.iteReported = m.iteCalls
+	gNodesPeak.SetMax(int64(len(m.nodes)))
 }

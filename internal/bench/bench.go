@@ -41,6 +41,11 @@ type Config struct {
 	// (0 = one per CPU). Counts are identical at any worker count;
 	// runtimes improve on multi-output (MED) miters.
 	Workers int
+	// OnRun, when non-nil, receives one RunRecord per individual
+	// verification (each approximate version of each benchmark, per
+	// method), carrying the per-sub-miter wall times the text tables
+	// aggregate away. cmd/vacsem-bench points it at its JSON report.
+	OnRun func(RunRecord)
 }
 
 func (c Config) withDefaults() Config {
@@ -302,15 +307,19 @@ func RunTable(specs []Spec, metric Metric, cfg Config) []Row {
 		for _, m := range cfg.Methods {
 			cell := Cell{}
 			logSum, completed := 0.0, 0
-			for _, approx := range spec.Approx {
+			for v, approx := range spec.Approx {
 				opt := core.Options{Method: m, TimeLimit: cfg.TimeLimit, Workers: cfg.Workers}
 				var res *core.Result
 				var err error
+				start := time.Now()
 				switch metric {
 				case MED:
 					res, err = core.VerifyMED(spec.Exact, approx, opt)
 				default:
 					res, err = core.VerifyER(spec.Exact, approx, opt)
+				}
+				if cfg.OnRun != nil {
+					cfg.OnRun(newRunRecord(spec.Name, metric.String(), m, v, res, err, time.Since(start)))
 				}
 				switch err {
 				case nil:
@@ -399,11 +408,15 @@ func WriteDDScalability(w io.Writer, cfg Config) {
 		render := func(m core.Method) string {
 			opt := core.Options{Method: m, TimeLimit: cfg.TimeLimit, Workers: cfg.Workers}
 			start := time.Now()
+			var res *core.Result
 			var err error
 			if p.metric == MED {
-				_, err = core.VerifyMED(p.exact, p.approx, opt)
+				res, err = core.VerifyMED(p.exact, p.approx, opt)
 			} else {
-				_, err = core.VerifyER(p.exact, p.approx, opt)
+				res, err = core.VerifyER(p.exact, p.approx, opt)
+			}
+			if cfg.OnRun != nil {
+				cfg.OnRun(newRunRecord(p.name, p.metric.String(), m, 0, res, err, time.Since(start)))
 			}
 			switch err {
 			case nil:

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"vacsem/internal/core"
+	"vacsem/internal/counter"
+	"vacsem/internal/obs"
+)
+
+// SubRecord is the wall time and outcome of one sub-miter inside one
+// verification run — the per-sub-miter breakdown the text tables never
+// showed (they only print geomean totals).
+type SubRecord struct {
+	Output    string  `json:"output"`
+	Seconds   float64 `json:"seconds"`
+	Count     string  `json:"count"`
+	Trivial   bool    `json:"trivial,omitempty"`
+	Decisions uint64  `json:"decisions,omitempty"`
+	SimCalls  uint64  `json:"sim_calls,omitempty"`
+	CacheHits uint64  `json:"cache_hits,omitempty"`
+}
+
+// RunRecord is one (benchmark, metric, method, version) measurement.
+type RunRecord struct {
+	Bench      string        `json:"bench"`
+	Metric     string        `json:"metric"`
+	Method     string        `json:"method"`
+	Version    int           `json:"version"`
+	Seconds    float64       `json:"seconds"`
+	Value      string        `json:"value,omitempty"` // exact rational metric value
+	Count      string        `json:"count,omitempty"`
+	NumInputs  int           `json:"num_inputs,omitempty"`
+	TimedOut   bool          `json:"timed_out,omitempty"`
+	Infeasible bool          `json:"infeasible,omitempty"`
+	Err        string        `json:"error,omitempty"`
+	Subs       []SubRecord   `json:"subs,omitempty"`
+	Stats      counter.Stats `json:"stats"`
+}
+
+// newRunRecord flattens one verification outcome into a RunRecord. res
+// may be nil (timeout, infeasible, error); wall is the caller-observed
+// duration, used when res carries no runtime of its own.
+func newRunRecord(bench, metric string, m core.Method, version int, res *core.Result, err error, wall time.Duration) RunRecord {
+	rec := RunRecord{
+		Bench:   bench,
+		Metric:  metric,
+		Method:  m.String(),
+		Version: version,
+		Seconds: wall.Seconds(),
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrTimeout):
+		rec.TimedOut = true
+	case errors.Is(err, core.ErrTooLarge), errors.Is(err, core.ErrBDDTooLarge):
+		rec.Infeasible = true
+	default:
+		rec.Err = err.Error()
+	}
+	if res == nil {
+		return rec
+	}
+	if res.Runtime > 0 {
+		rec.Seconds = res.Runtime.Seconds()
+	}
+	rec.Value = res.Value.RatString()
+	rec.Count = res.Count.String()
+	rec.NumInputs = res.NumInputs
+	rec.Stats = res.TotalStats
+	rec.Subs = make([]SubRecord, len(res.Subs))
+	for i, sub := range res.Subs {
+		rec.Subs[i] = SubRecord{
+			Output:    sub.Output,
+			Seconds:   sub.Runtime.Seconds(),
+			Count:     sub.Count.String(),
+			Trivial:   sub.Trivial,
+			Decisions: sub.Stats.Decisions,
+			SimCalls:  sub.Stats.SimCalls,
+			CacheHits: sub.Stats.CacheHits,
+		}
+	}
+	return rec
+}
+
+// Report is the machine-readable run summary cmd/vacsem-bench writes as
+// BENCH_<timestamp>.json: every individual verification (with
+// per-sub-miter wall times) plus the end-of-run metric totals, so the
+// performance trajectory of the repository can be tracked from data
+// instead of eyeballing table output.
+type Report struct {
+	Generated string `json:"generated"` // RFC 3339
+	Suite     string `json:"suite"`     // "scaled" or "full"
+	Versions  int    `json:"versions"`
+	TimeLimit string `json:"time_limit"`
+	Workers   int    `json:"workers"`
+	Tables    string `json:"tables"`
+
+	mu      sync.Mutex
+	Runs    []RunRecord   `json:"runs"`
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// NewReport creates a report describing one vacsem-bench invocation.
+func NewReport(cfg Config, tables string, now time.Time) *Report {
+	cfg = cfg.withDefaults()
+	suite := "scaled"
+	if cfg.Full {
+		suite = "full"
+	}
+	return &Report{
+		Generated: now.Format(time.RFC3339),
+		Suite:     suite,
+		Versions:  cfg.Versions,
+		TimeLimit: cfg.TimeLimit.String(),
+		Workers:   cfg.Workers,
+		Tables:    tables,
+	}
+}
+
+// Add appends one run record; safe for concurrent use so it can serve
+// directly as Config.OnRun.
+func (r *Report) Add(rec RunRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Runs = append(r.Runs, rec)
+}
+
+// AttachMetrics snapshots the default metrics registry into the report.
+func (r *Report) AttachMetrics() {
+	s := obs.Default.Snapshot()
+	r.Metrics = &s
+}
+
+// WriteJSON serializes the report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DefaultReportPath names the report file for a run started at now:
+// BENCH_<timestamp>.json in the current directory, next to the text
+// tables on stdout.
+func DefaultReportPath(now time.Time) string {
+	return fmt.Sprintf("BENCH_%s.json", now.Format("20060102T150405"))
+}

@@ -19,6 +19,14 @@ import (
 	"vacsem/internal/counter"
 	"vacsem/internal/engine"
 	"vacsem/internal/miter"
+	"vacsem/internal/obs"
+)
+
+// Run-level metrics, updated once per verification.
+var (
+	mRuns       = obs.Default.Counter("core.runs")
+	mRunErrors  = obs.Default.Counter("core.run_errors")
+	hRunSeconds = obs.Default.Histogram("core.run_seconds", nil)
 )
 
 // Method selects the verification engine.
@@ -304,11 +312,23 @@ func mapErr(err error, opt Options) error {
 
 // verifyMiter resolves the configured method to a backend through the
 // engine registry and runs the task — no method dispatch lives here.
+// Each verification is one "run" trace span; the backend and sub-miter
+// spans nest under it through the context.
 func verifyMiter(ctx context.Context, metric string, m *circuit.Circuit, weights []*big.Int, opt Options) (*Result, error) {
 	start := time.Now()
 	be, err := engine.Lookup(opt.Method.String())
 	if err != nil {
 		return nil, err
+	}
+	mRuns.Inc()
+	tr := obs.Active()
+	var runSpan obs.SpanID
+	if tr != nil {
+		runSpan = tr.StartSpan(obs.SpanFrom(ctx), "run", obs.Fields{
+			"metric": metric, "backend": opt.Method.String(),
+			"inputs": m.NumInputs(), "outputs": m.NumOutputs(),
+		})
+		ctx = obs.WithSpan(ctx, runSpan)
 	}
 	ctx, cancel := withTimeLimit(ctx, opt)
 	defer cancel()
@@ -320,7 +340,13 @@ func verifyMiter(ctx context.Context, metric string, m *circuit.Circuit, weights
 		Progress: opt.Progress,
 	})
 	if err != nil {
-		return nil, mapErr(err, opt)
+		err = mapErr(err, opt)
+		mRunErrors.Inc()
+		hRunSeconds.Observe(time.Since(start).Seconds())
+		if tr != nil {
+			tr.EndSpan(runSpan, "run", obs.Fields{"error": err.Error()})
+		}
+		return nil, err
 	}
 	res := &Result{
 		Metric:    metric,
@@ -335,5 +361,12 @@ func verifyMiter(ctx context.Context, metric string, m *circuit.Circuit, weights
 	}
 	denom := new(big.Int).Lsh(big.NewInt(1), uint(m.NumInputs()))
 	res.Value = new(big.Rat).SetFrac(new(big.Int).Set(res.Count), denom)
+	hRunSeconds.Observe(res.Runtime.Seconds())
+	if tr != nil {
+		tr.EndSpan(runSpan, "run", obs.Fields{
+			"count": res.Count.String(), "value": res.Value.RatString(),
+			"stats": res.TotalStats,
+		})
+	}
 	return res, nil
 }

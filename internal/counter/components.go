@@ -118,11 +118,17 @@ func (s *Solver) solveComponent(comp *component) *big.Int {
 		return nil
 	}
 	s.stats.Components++
+	if s.tr != nil {
+		s.traceComponent(comp)
+	}
 	var key string
 	if !s.cfg.DisableCache {
 		key = s.cacheKey(comp)
 		if v, ok := s.cache[key]; ok {
 			s.stats.CacheHits++
+			if s.tr != nil {
+				s.traceCache("hit")
+			}
 			return v
 		}
 	}
@@ -148,6 +154,9 @@ func (s *Solver) cacheStore(key string, cnt *big.Int) {
 	}
 	s.cache[key] = cnt
 	s.stats.CacheStores++
+	if s.tr != nil {
+		s.traceCache("store")
+	}
 }
 
 // branchCount implements the DPLL part: pick a decision variable, count

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"vacsem/internal/cnf"
+	"vacsem/internal/obs"
 )
 
 // ErrTimeout is returned by Count and Satisfiable when the configured
@@ -108,7 +109,9 @@ type Stats struct {
 
 // Add accumulates other into s field by field. It is the aggregation
 // primitive behind core.Result.TotalStats, so reporting layers never
-// re-sum individual fields by hand.
+// re-sum individual fields by hand. (A reflection test asserts that
+// every numeric field participates, so new metrics cannot be silently
+// dropped here or in Diff.)
 func (s *Stats) Add(other Stats) {
 	s.Decisions += other.Decisions
 	s.Propagations += other.Propagations
@@ -120,6 +123,24 @@ func (s *Stats) Add(other Stats) {
 	s.SimPatterns += other.SimPatterns
 	s.FailedLiterals += other.FailedLiterals
 	s.Learned += other.Learned
+}
+
+// Diff returns the field-wise difference s - prev. It is the inverse of
+// Add for monotonically growing statistics and backs the tracer's
+// periodic "stats" snapshot-delta events.
+func (s Stats) Diff(prev Stats) Stats {
+	return Stats{
+		Decisions:      s.Decisions - prev.Decisions,
+		Propagations:   s.Propagations - prev.Propagations,
+		Components:     s.Components - prev.Components,
+		CacheHits:      s.CacheHits - prev.CacheHits,
+		CacheStores:    s.CacheStores - prev.CacheStores,
+		SimCalls:       s.SimCalls - prev.SimCalls,
+		SimRejected:    s.SimRejected - prev.SimRejected,
+		SimPatterns:    s.SimPatterns - prev.SimPatterns,
+		FailedLiterals: s.FailedLiterals - prev.FailedLiterals,
+		Learned:        s.Learned - prev.Learned,
+	}
 }
 
 const (
@@ -168,6 +189,14 @@ type Solver struct {
 	aborted  bool
 	abortErr error
 	ticks    uint32
+
+	// tracing state (see trace.go). tr is captured once per CountCtx so
+	// the hot loops pay a plain nil check, not an atomic load.
+	tr        *obs.Tracer
+	span      obs.SpanID // parent span from the caller's context
+	hotTick   uint64     // component-event sampling tick
+	cacheTick uint64     // cache-event sampling tick
+	lastEmit  Stats      // stats at the last periodic snapshot delta
 }
 
 // propItem is one queued propagation with its antecedent.
@@ -258,6 +287,11 @@ func legacyErr(err error) error {
 // set, is layered on top as a context deadline.
 func (s *Solver) CountCtx(ctx context.Context) (*big.Int, error) {
 	s.reset()
+	s.tr = obs.Active()
+	if s.tr != nil {
+		s.span = obs.SpanFrom(ctx)
+	}
+	defer s.finishObs()
 	if s.cfg.TimeLimit > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.TimeLimit)
@@ -333,6 +367,11 @@ func (s *Solver) reset() {
 	s.ticks = 0
 	s.curLevel = 0
 	s.conflictCl = -1
+	s.tr = nil
+	s.span = 0
+	s.hotTick = 0
+	s.cacheTick = 0
+	s.lastEmit = Stats{}
 }
 
 // checkAbort polls the active context every 1024 calls. It is invoked at

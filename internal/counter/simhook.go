@@ -4,8 +4,10 @@ import (
 	"math/big"
 	"math/bits"
 	"sort"
+	"time"
 
 	"vacsem/internal/circuit"
+	"vacsem/internal/obs"
 )
 
 // trySimulate implements SimulationController(f) + SolveBySimulation(f)
@@ -25,9 +27,10 @@ func (s *Solver) trySimulate(comp *component) (*big.Int, bool) {
 	// Cheap size pre-check: every gate contributes at least two clauses,
 	// so a component with fewer than 2*MinSimGates clauses cannot reach
 	// the minimum sub-circuit size — skip the gate mapping entirely.
+	// (This fires for nearly every small residual component, so its
+	// trace events are sampled; the later rejections are not.)
 	if len(comp.clauses) < 2*s.cfg.MinSimGates {
-		s.stats.SimRejected++
-		return nil, false
+		return s.rejectSim(true, "few_clauses", 0, 0, 0)
 	}
 	circ := s.f.Circ
 
@@ -43,8 +46,7 @@ func (s *Solver) trySimulate(comp *component) (*big.Int, bool) {
 		if g < 0 {
 			// A clause with no gate (e.g. an assumption) cannot be
 			// represented by circuit structure.
-			s.stats.SimRejected++
-			return nil, false
+			return s.rejectSim(false, "unmapped_clause", len(gates), 0, 0)
 		}
 		if s.gateSeen[g] != stamp {
 			s.gateSeen[g] = stamp
@@ -61,8 +63,7 @@ func (s *Solver) trySimulate(comp *component) (*big.Int, bool) {
 	for _, g := range gates {
 		for _, ci := range s.f.ClausesOfGate[g] {
 			if s.nTrue[ci] == 0 && s.compClSet[ci] != stamp {
-				s.stats.SimRejected++
-				return nil, false
+				return s.rejectSim(false, "foreign_clause", len(gates), 0, 0)
 			}
 		}
 	}
@@ -86,8 +87,7 @@ func (s *Solver) trySimulate(comp *component) (*big.Int, bool) {
 			if v == 0 {
 				// A fanin without a CNF variable cannot occur for encoded
 				// cones; refuse rather than guess.
-				s.stats.SimRejected++
-				return nil, false
+				return s.rejectSim(false, "unmapped_fanin", len(gates), 0, 0)
 			}
 			switch {
 			case s.assign[v] != unassigned:
@@ -105,26 +105,33 @@ func (s *Solver) trySimulate(comp *component) (*big.Int, bool) {
 	// stays tractable.
 	k := len(freeInputs)
 	if k > s.cfg.MaxSimVars || k > 62 {
-		s.stats.SimRejected++
-		return nil, false
+		return s.rejectSim(false, "too_many_inputs", len(gates), k, 0)
 	}
 	if len(gates) < s.cfg.MinSimGates {
-		s.stats.SimRejected++
-		return nil, false
+		return s.rejectSim(false, "few_gates", len(gates), k, 0)
 	}
+	density := 0.0
 	if k > 0 {
-		density := s.cfg.Alpha * float64(len(gates)) / float64(k*k)
+		density = s.cfg.Alpha * float64(len(gates)) / float64(k*k)
 		if density <= 1 {
-			s.stats.SimRejected++
-			return nil, false
+			return s.rejectSim(false, "low_density", len(gates), k, density)
 		}
 	}
 
 	// 5. Simulate. Gates in ascending node-id order are in topological
 	// order (a circuit invariant checked by Validate at encode time).
 	sort.Slice(gates, func(i, j int) bool { return gates[i] < gates[j] })
+	start := time.Now()
 	count := s.simulateComponent(gates, freeInputs, pinnedInputs)
+	dur := time.Since(start)
+	hSimSeconds.Observe(dur.Seconds())
 	s.stats.SimCalls++
+	if s.tr != nil {
+		s.tr.Event(s.span, "sim_decision", obs.Fields{
+			"accepted": true, "gates": len(gates), "k": k, "density": density,
+			"count": count, "sim_us": dur.Microseconds(),
+		})
+	}
 	return new(big.Int).SetUint64(count), true
 }
 

@@ -1,0 +1,70 @@
+package counter
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// fillStats sets every numeric field of a Stats to a distinct pseudo-
+// random value and returns the filled struct. It fails the test on any
+// non-numeric field so the reflection walk stays exhaustive.
+func fillStats(t *testing.T, rng *rand.Rand) Stats {
+	t.Helper()
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint, reflect.Uint32, reflect.Uint64:
+			f.SetUint(uint64(rng.Intn(1_000_000) + 1))
+		case reflect.Int, reflect.Int32, reflect.Int64:
+			f.SetInt(int64(rng.Intn(1_000_000) + 1))
+		default:
+			t.Fatalf("Stats.%s has kind %v; extend fillStats and re-check Add/Diff",
+				v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	return s
+}
+
+// TestStatsAddCoversEveryField catches the classic aggregation bug: a
+// new counter field added to Stats but forgotten in Add, silently
+// dropping it from Result.TotalStats. Every numeric field must satisfy
+// sum.F == a.F + b.F after a.Add(b).
+func TestStatsAddCoversEveryField(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := fillStats(t, rng)
+	b := fillStats(t, rng)
+	sum := a
+	sum.Add(b)
+
+	va, vb, vs := reflect.ValueOf(a), reflect.ValueOf(b), reflect.ValueOf(sum)
+	for i := 0; i < va.NumField(); i++ {
+		name := va.Type().Field(i).Name
+		want := va.Field(i).Uint() + vb.Field(i).Uint()
+		if got := vs.Field(i).Uint(); got != want {
+			t.Errorf("Stats.Add drops field %s: got %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestStatsDiffInvertsAdd pins Diff (the periodic trace-snapshot delta)
+// as the exact inverse of Add, field by field.
+func TestStatsDiffInvertsAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := fillStats(t, rng)
+	delta := fillStats(t, rng)
+	total := base
+	total.Add(delta)
+	got := total.Diff(base)
+
+	vg, vd := reflect.ValueOf(got), reflect.ValueOf(delta)
+	for i := 0; i < vg.NumField(); i++ {
+		name := vg.Type().Field(i).Name
+		if vg.Field(i).Uint() != vd.Field(i).Uint() {
+			t.Errorf("Stats.Diff does not invert Add on field %s: got %d, want %d",
+				name, vg.Field(i).Uint(), vd.Field(i).Uint())
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package counter
+
+import (
+	"math/big"
+
+	"vacsem/internal/obs"
+)
+
+// Observability hooks of the solver. Everything in this file is a no-op
+// (a single nil check) when no tracer is installed; the metrics-registry
+// merge in finishObs is a handful of atomic adds per Count call.
+//
+// Per-component and per-cache-operation events are sampled at the
+// tracer's HotEvery interval — a component cache can see millions of
+// operations per count — while controller decisions past the cheap
+// clause pre-check are traced unconditionally (they are the events the
+// paper's dynamic-controller claim hinges on).
+
+// Registry handles, resolved once. Names are grouped under "counter.".
+var (
+	mDecisions      = obs.Default.Counter("counter.decisions")
+	mPropagations   = obs.Default.Counter("counter.propagations")
+	mComponents     = obs.Default.Counter("counter.components")
+	mCacheHits      = obs.Default.Counter("counter.cache_hits")
+	mCacheStores    = obs.Default.Counter("counter.cache_stores")
+	mSimCalls       = obs.Default.Counter("counter.sim_calls")
+	mSimRejected    = obs.Default.Counter("counter.sim_rejected")
+	mSimPatterns    = obs.Default.Counter("counter.sim_patterns")
+	mFailedLiterals = obs.Default.Counter("counter.failed_literals")
+	mLearnedClauses = obs.Default.Counter("counter.learned_clauses")
+	mCounts         = obs.Default.Counter("counter.count_calls")
+	hSimSeconds     = obs.Default.Histogram("counter.sim_component_seconds", nil)
+)
+
+// finishObs merges the run's statistics into the default metrics
+// registry and, when traced, emits the final stats snapshot delta.
+func (s *Solver) finishObs() {
+	mCounts.Inc()
+	mDecisions.Add(s.stats.Decisions)
+	mPropagations.Add(s.stats.Propagations)
+	mComponents.Add(s.stats.Components)
+	mCacheHits.Add(s.stats.CacheHits)
+	mCacheStores.Add(s.stats.CacheStores)
+	mSimCalls.Add(s.stats.SimCalls)
+	mSimRejected.Add(s.stats.SimRejected)
+	mSimPatterns.Add(s.stats.SimPatterns)
+	mFailedLiterals.Add(s.stats.FailedLiterals)
+	mLearnedClauses.Add(s.stats.Learned)
+	if s.tr != nil {
+		if delta := s.stats.Diff(s.lastEmit); delta != (Stats{}) {
+			s.lastEmit = s.stats
+			s.tr.Event(s.span, "stats", obs.Fields{"delta": delta, "cache_size": len(s.cache), "final": true})
+		}
+	}
+}
+
+// traceComponent emits a sampled per-component event plus the periodic
+// stats snapshot delta. Callers check s.tr != nil first.
+func (s *Solver) traceComponent(comp *component) {
+	s.hotTick++
+	if s.hotTick%s.tr.HotEvery() != 0 {
+		return
+	}
+	s.tr.Event(s.span, "component", obs.Fields{
+		"seq": s.hotTick, "vars": len(comp.vars), "clauses": len(comp.clauses),
+	})
+	delta := s.stats.Diff(s.lastEmit)
+	s.lastEmit = s.stats
+	s.tr.Event(s.span, "stats", obs.Fields{"delta": delta, "cache_size": len(s.cache)})
+}
+
+// traceCache emits a sampled cache event (op is "hit" or "store").
+// Callers check s.tr != nil first.
+func (s *Solver) traceCache(op string) {
+	s.cacheTick++
+	if s.cacheTick%s.tr.HotEvery() != 0 {
+		return
+	}
+	s.tr.Event(s.span, "cache", obs.Fields{
+		"op": op, "size": len(s.cache),
+		"hits": s.stats.CacheHits, "stores": s.stats.CacheStores,
+	})
+}
+
+// rejectSim records a controller rejection. Rejections at the cheap
+// clause-count pre-check fire once per candidate component, so they are
+// sampled like component events; structural and density rejections are
+// traced unconditionally with the score that drove the choice.
+func (s *Solver) rejectSim(sampled bool, reason string, gates, k int, density float64) (*big.Int, bool) {
+	s.stats.SimRejected++
+	if s.tr == nil {
+		return nil, false
+	}
+	if sampled {
+		s.hotTick++ // share the component sampling budget
+		if s.hotTick%s.tr.HotEvery() != 0 {
+			return nil, false
+		}
+	}
+	s.tr.Event(s.span, "sim_decision", obs.Fields{
+		"accepted": false, "reason": reason,
+		"gates": gates, "k": k, "density": density,
+	})
+	return nil, false
+}

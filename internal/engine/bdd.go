@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vacsem/internal/bdd"
+	"vacsem/internal/obs"
 	"vacsem/internal/synth"
 )
 
@@ -28,6 +29,17 @@ func (bddBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) {
 	if !t.Config.NoSynth {
 		work = synth.Compress(work)
 	}
+	tr := obs.Active()
+	var beSpan obs.SpanID
+	if tr != nil {
+		beSpan = tr.StartSpan(obs.SpanFrom(ctx), "backend", obs.Fields{
+			"backend": "bdd", "metric": t.Metric,
+			"subs": work.NumOutputs(), "inputs": work.NumInputs(),
+			"node_limit": t.Config.BDDNodeLimit,
+		})
+		ctx = obs.WithSpan(ctx, beSpan) // bdd_growth events parent here
+		defer tr.EndSpan(beSpan, "backend", nil)
+	}
 	start := time.Now()
 	mgr := bdd.New(work.NumInputs(), t.Config.BDDNodeLimit)
 	outs, err := mgr.BuildOutputsCtx(ctx, work, bdd.DFSOrder(work))
@@ -40,12 +52,24 @@ func (bddBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		var span obs.SpanID
+		if tr != nil {
+			span = tr.StartSpan(beSpan, "sub_miter", obs.Fields{
+				"backend": "bdd", "index": j, "output": t.Miter.OutputName(j),
+			})
+		}
 		sr := SubResult{
 			Output: t.Miter.OutputName(j),
 			Count:  mgr.CountOnes(f),
 			Weight: t.Weights[j],
 		}
 		out.Subs[j] = sr
+		if tr != nil {
+			tr.EndSpan(span, "sub_miter", obs.Fields{
+				"index": j, "output": sr.Output, "bdd_size": mgr.Size(f),
+				"count": sr.Count.String(), "stats": sr.Stats,
+			})
+		}
 		weighted.Mul(sr.Count, sr.Weight)
 		out.Count.Add(out.Count, &weighted)
 		if t.Progress != nil {

@@ -12,7 +12,17 @@ import (
 	"vacsem/internal/cnf"
 	"vacsem/internal/counter"
 	"vacsem/internal/miter"
+	"vacsem/internal/obs"
 	"vacsem/internal/synth"
+)
+
+// Per-sub-miter metrics, updated once per solved sub-miter.
+var (
+	mSubMiters   = obs.Default.Counter("engine.sub_miters")
+	mSubTrivial  = obs.Default.Counter("engine.sub_miters_trivial")
+	hSubSeconds  = obs.Default.Histogram("engine.sub_miter_seconds", nil)
+	hSynthReduce = obs.Default.Histogram("engine.synth_node_ratio",
+		[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1})
 )
 
 // countingBackend runs the #SAT flow of the paper: split the miter into
@@ -53,6 +63,18 @@ func (b *countingBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) 
 	}
 	if workers < 1 {
 		workers = 1
+	}
+
+	// Backend span: parents every sub-miter span (and, through the
+	// context, the counter's component/cache/sim_decision events).
+	tr := obs.Active()
+	if tr != nil {
+		beSpan := tr.StartSpan(obs.SpanFrom(ctx), "backend", obs.Fields{
+			"backend": b.name, "metric": t.Metric,
+			"subs": len(subs), "workers": workers,
+		})
+		ctx = obs.WithSpan(ctx, beSpan)
+		defer tr.EndSpan(beSpan, "backend", nil)
 	}
 
 	// The pool: workers claim sub-miter indexes from an atomic cursor.
@@ -120,19 +142,52 @@ func (b *countingBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) 
 	return out, nil
 }
 
-// solveSub runs Phase 1 + Phase 2 on one single-output sub-miter.
-func (b *countingBackend) solveSub(ctx context.Context, m, sub *circuit.Circuit, j int, weight *big.Int, cfg Config) (SubResult, error) {
+// solveSub runs Phase 1 + Phase 2 on one single-output sub-miter. The
+// sub_miter trace span and the per-sub-miter metrics cover every exit
+// path (trivial, encode error, counter error, success).
+func (b *countingBackend) solveSub(ctx context.Context, m, sub *circuit.Circuit, j int, weight *big.Int, cfg Config) (sr SubResult, err error) {
 	subStart := time.Now()
-	sr := SubResult{
+	sr = SubResult{
 		Output:      m.OutputName(j),
 		Count:       new(big.Int),
 		Weight:      weight,
 		NodesBefore: sub.NumGates(),
 	}
+	tr := obs.Active()
+	var span obs.SpanID
+	if tr != nil {
+		span = tr.StartSpan(obs.SpanFrom(ctx), "sub_miter", obs.Fields{
+			"backend": b.name, "index": j, "output": sr.Output,
+			"nodes_before": sr.NodesBefore,
+		})
+		ctx = obs.WithSpan(ctx, span)
+	}
+	defer func() {
+		sr.Runtime = time.Since(subStart)
+		mSubMiters.Inc()
+		if sr.Trivial {
+			mSubTrivial.Inc()
+		}
+		hSubSeconds.Observe(sr.Runtime.Seconds())
+		if tr != nil {
+			f := obs.Fields{
+				"index": j, "output": sr.Output,
+				"nodes_after": sr.NodesAfter, "trivial": sr.Trivial,
+				"count": sr.Count.String(), "stats": sr.Stats,
+			}
+			if err != nil {
+				f["error"] = err.Error()
+			}
+			tr.EndSpan(span, "sub_miter", f)
+		}
+	}()
 	if !cfg.NoSynth {
 		sub = synth.Compress(sub)
 	}
 	sr.NodesAfter = sub.NumGates()
+	if sr.NodesBefore > 0 {
+		hSynthReduce.Observe(float64(sr.NodesAfter) / float64(sr.NodesBefore))
+	}
 	totalInputs := m.NumInputs()
 	// Trivial outcomes after constant propagation.
 	out := sub.Outputs[0]
@@ -147,7 +202,8 @@ func (b *countingBackend) solveSub(ctx context.Context, m, sub *circuit.Circuit,
 		sr.Count.Lsh(big.NewInt(1), uint(totalInputs-1))
 		sr.Trivial = true
 	default:
-		f, err := cnf.Encode(sub)
+		var f *cnf.Formula
+		f, err = cnf.Encode(sub)
 		if err != nil {
 			return sr, err
 		}
@@ -160,7 +216,8 @@ func (b *countingBackend) solveSub(ctx context.Context, m, sub *circuit.Circuit,
 			DisableIBCP:     cfg.DisableIBCP,
 			DisableLearning: cfg.DisableLearning,
 		})
-		cnt, err := s.CountCtx(ctx)
+		var cnt *big.Int
+		cnt, err = s.CountCtx(ctx)
 		sr.Stats = s.Stats()
 		if err != nil {
 			// Propagate verbatim: context errors, encode errors and any
@@ -172,6 +229,5 @@ func (b *countingBackend) solveSub(ctx context.Context, m, sub *circuit.Circuit,
 		extra := totalInputs - f.NumEncodedInputs()
 		sr.Count.Lsh(cnt, uint(extra))
 	}
-	sr.Runtime = time.Since(subStart)
 	return sr, nil
 }

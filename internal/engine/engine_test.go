@@ -4,7 +4,9 @@ import (
 	"context"
 	"math/big"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"vacsem/internal/als"
 	"vacsem/internal/gen"
@@ -150,6 +152,57 @@ func TestProgressEvents(t *testing.T) {
 		}
 		if ev.Backend != "vacsem" || ev.Metric != "MED" {
 			t.Errorf("event %d: backend/metric = %q/%q", i, ev.Backend, ev.Metric)
+		}
+	}
+}
+
+// TestProgressSerialized pins the documented callback contract under
+// Workers > 1: calls never overlap, and every event carries the
+// sub-miter's own runtime and counter statistics (matching what the
+// outcome later reports for that index).
+func TestProgressSerialized(t *testing.T) {
+	b, err := Lookup("vacsem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := medTask(t, 8)
+	task.Config.Workers = 4
+	var (
+		inside     atomic.Int32
+		overlapped atomic.Bool
+		events     = make(map[int]ProgressEvent) // unguarded on purpose: -race flags overlap too
+	)
+	task.Progress = func(ev ProgressEvent) {
+		if inside.Add(1) != 1 {
+			overlapped.Store(true)
+		}
+		time.Sleep(100 * time.Microsecond) // widen any race window
+		events[ev.Index] = ev
+		inside.Add(-1)
+	}
+	out, err := b.Solve(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlapped.Load() {
+		t.Fatal("progress callback entered concurrently; contract says calls are serialized")
+	}
+	if len(events) != len(out.Subs) {
+		t.Fatalf("%d progress events for %d subs", len(events), len(out.Subs))
+	}
+	for idx, ev := range events {
+		sub := out.Subs[idx]
+		if ev.Output != sub.Output {
+			t.Errorf("index %d: event output %q, outcome output %q", idx, ev.Output, sub.Output)
+		}
+		if ev.Stats != sub.Stats {
+			t.Errorf("index %d: event stats %+v, outcome stats %+v", idx, ev.Stats, sub.Stats)
+		}
+		if ev.Runtime != sub.Runtime {
+			t.Errorf("index %d: event runtime %v, outcome runtime %v", idx, ev.Runtime, sub.Runtime)
+		}
+		if !ev.Trivial && ev.Runtime <= 0 {
+			t.Errorf("index %d: non-trivial sub-miter reported runtime %v", idx, ev.Runtime)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"time"
 
+	"vacsem/internal/obs"
 	"vacsem/internal/sim"
 )
 
@@ -23,6 +24,20 @@ func (enumBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) {
 	if m.NumInputs() > 62 {
 		return nil, ErrTooLarge
 	}
+	// One simulation pass covers every output, so the enumeration work
+	// lives on the backend span; the per-output sub_miter spans below
+	// only mark the (instant) result extraction, keeping the stream
+	// schema uniform across backends.
+	tr := obs.Active()
+	var beSpan obs.SpanID
+	if tr != nil {
+		beSpan = tr.StartSpan(obs.SpanFrom(ctx), "backend", obs.Fields{
+			"backend": "enum", "metric": t.Metric,
+			"subs": m.NumOutputs(), "inputs": m.NumInputs(),
+		})
+		ctx = obs.WithSpan(ctx, beSpan)
+		defer tr.EndSpan(beSpan, "backend", nil)
+	}
 	start := time.Now()
 	counts, err := sim.CountOnesPerOutputCtx(ctx, m)
 	if err != nil {
@@ -38,6 +53,15 @@ func (enumBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) {
 			Weight: t.Weights[j],
 		}
 		out.Subs[j] = sr
+		if tr != nil {
+			span := tr.StartSpan(beSpan, "sub_miter", obs.Fields{
+				"backend": "enum", "index": j, "output": sr.Output,
+			})
+			tr.EndSpan(span, "sub_miter", obs.Fields{
+				"index": j, "output": sr.Output,
+				"count": sr.Count.String(), "stats": sr.Stats,
+			})
+		}
 		weighted.Mul(sr.Count, sr.Weight)
 		out.Count.Add(out.Count, &weighted)
 		if t.Progress != nil {

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLIConfig is the observability surface both commands expose as flags.
+// Zero values mean "off"; Setup with a zero config returns a no-op
+// closer.
+type CLIConfig struct {
+	TracePath  string // -trace: JSONL span/event stream
+	CPUProfile string // -cpuprofile: pprof CPU profile path
+	MemProfile string // -memprofile: heap profile path, written at stop
+	PprofAddr  string // -pprof: live net/http/pprof listen address
+}
+
+// Setup installs the requested tracer and profilers and returns a stop
+// function that flushes and closes everything. Callers must run stop on
+// every exit path (so main must not os.Exit past it); stop is safe to
+// call exactly once.
+func Setup(cfg CLIConfig) (stop func() error, err error) {
+	var closers []func() error
+	fail := func(err error) (func() error, error) {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+		return nil, err
+	}
+
+	if cfg.TracePath != "" {
+		f, err := os.Create(cfg.TracePath)
+		if err != nil {
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		tr := NewTracer(f)
+		SetTracer(tr)
+		closers = append(closers, func() error {
+			SetTracer(nil)
+			err := tr.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		})
+	}
+
+	if cfg.CPUProfile != "" {
+		f, err := os.Create(cfg.CPUProfile)
+		if err != nil {
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		closers = append(closers, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+
+	if cfg.MemProfile != "" {
+		path := cfg.MemProfile
+		closers = append(closers, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			return pprof.Lookup("heap").WriteTo(f, 0)
+		})
+	}
+
+	if cfg.PprofAddr != "" {
+		// Listen synchronously so a bad address fails the run up front
+		// instead of logging from a goroutine.
+		ln, err := net.Listen("tcp", cfg.PprofAddr)
+		if err != nil {
+			return fail(fmt.Errorf("pprof: %w", err))
+		}
+		srv := &http.Server{Handler: http.DefaultServeMux}
+		go srv.Serve(ln)
+		closers = append(closers, func() error {
+			return srv.Close()
+		})
+	}
+
+	return func() error {
+		var first error
+		for i := len(closers) - 1; i >= 0; i-- {
+			if err := closers[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}
+
+// WriteMetrics dumps the default registry in the format of the -metrics
+// flag: "table" or "json".
+func WriteMetrics(w io.Writer, format string) error {
+	snap := Default.Snapshot()
+	switch format {
+	case "table":
+		snap.WriteTable(w)
+		return nil
+	case "json":
+		return snap.WriteJSON(w)
+	default:
+		return fmt.Errorf("unknown -metrics format %q (want table or json)", format)
+	}
+}

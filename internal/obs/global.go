@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// active holds the installed tracer, or nil when tracing is disabled.
+// The disabled fast path is a single atomic pointer load.
+var active atomic.Pointer[Tracer]
+
+// SetTracer installs t as the process-wide tracer (nil disables
+// tracing). Long-running solves capture the tracer once at start, so an
+// install mid-solve takes effect on the next solve.
+func SetTracer(t *Tracer) {
+	if t == nil {
+		active.Store(nil)
+		return
+	}
+	active.Store(t)
+}
+
+// Active returns the installed tracer, or nil when tracing is disabled.
+func Active() *Tracer { return active.Load() }
+
+// Enabled reports whether a tracer is installed.
+func Enabled() bool { return active.Load() != nil }
+
+type spanCtxKey struct{}
+
+// WithSpan returns a context carrying the given span as the parent for
+// downstream instrumentation (core's run span flows to the engine's
+// backend span, which flows to each sub-miter span, which flows to the
+// counter's component/cache/sim_decision events).
+func WithSpan(ctx context.Context, id SpanID) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, id)
+}
+
+// SpanFrom extracts the parent span from a context (0 when none).
+func SpanFrom(ctx context.Context) SpanID {
+	if ctx == nil {
+		return 0
+	}
+	if id, ok := ctx.Value(spanCtxKey{}).(SpanID); ok {
+		return id
+	}
+	return 0
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 10, 100})
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.SetMax(int64(w*per + i))
+				h.Observe(float64(i % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got < workers*per {
+		t.Errorf("gauge = %d, want >= %d (SetMax raised it beyond the adds)", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	wantSum := 0.0
+	for i := 0; i < per; i++ {
+		wantSum += float64(i % 200)
+	}
+	wantSum *= workers
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 1, 2, 10, 11, 1e9} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2} // <=1, <=10, overflow
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Errorf("SetMax lowered the gauge: got %d, want 5", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Errorf("SetMax(9) = %d, want 9", got)
+	}
+}
+
+func TestSnapshotSortedAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(2)
+	r.Counter("a.first").Inc()
+	r.Gauge("m.mid").Set(-7)
+	r.Histogram("lat", nil).Observe(0.5)
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a.first" || s.Counters[1].Name != "z.last" {
+		t.Errorf("counters not sorted: %+v", s.Counters)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if len(round.Counters) != 2 || round.Counters[1].Value != 2 {
+		t.Errorf("round-tripped snapshot = %+v", round)
+	}
+	var table bytes.Buffer
+	s.WriteTable(&table)
+	for _, want := range []string{"a.first", "z.last", "m.mid", "lat"} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("table output missing %q:\n%s", want, table.String())
+		}
+	}
+}
+
+// TestTracerJSONL drives spans and events, then checks every line is a
+// valid JSON object with the schema's reserved keys.
+func TestTracerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	run := tr.StartSpan(0, "run", Fields{"metric": "ER"})
+	sub := tr.StartSpan(run, "sub_miter", Fields{"index": 0, "output": "dev0"})
+	tr.Event(sub, "sim_decision", Fields{"accepted": true, "density": 2.5, "gates": 30, "k": 5})
+	tr.EndSpan(sub, "sub_miter", Fields{"count": "12"})
+	tr.EndSpan(run, "run", nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 5 {
+		t.Fatalf("got %d events, want 5", len(lines))
+	}
+	if lines[0]["ev"] != "span_start" || lines[0]["span"] != "run" {
+		t.Errorf("first event = %v", lines[0])
+	}
+	if lines[1]["parent"] != float64(run) {
+		t.Errorf("sub_miter parent = %v, want %v", lines[1]["parent"], run)
+	}
+	if lines[2]["ev"] != "sim_decision" || lines[2]["accepted"] != true {
+		t.Errorf("sim_decision event = %v", lines[2])
+	}
+	if lines[3]["ev"] != "span_end" || lines[3]["count"] != "12" {
+		t.Errorf("span_end event = %v", lines[3])
+	}
+	if _, ok := lines[3]["dur_us"]; !ok {
+		t.Errorf("span_end missing dur_us: %v", lines[3])
+	}
+}
+
+// TestTracerConcurrent hammers one tracer from many goroutines and
+// verifies the output is still line-wise valid JSON (the race detector
+// additionally checks the locking).
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := tr.StartSpan(0, "sub_miter", Fields{"worker": w, "i": i})
+				tr.Event(id, "component", Fields{"vars": i})
+				tr.EndSpan(id, "sub_miter", nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("interleaved/corrupt line %q: %v", sc.Text(), err)
+		}
+		n++
+	}
+	if want := 8 * 200 * 3; n != want {
+		t.Errorf("got %d lines, want %d", n, want)
+	}
+}
+
+func TestReservedKeysNotOverridden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	id := tr.StartSpan(0, "run", Fields{"ev": "spoof", "id": 999, "note": "kept"})
+	tr.EndSpan(id, "run", nil)
+	tr.Close()
+	sc := bufio.NewScanner(&buf)
+	sc.Scan()
+	var m map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["ev"] != "span_start" || m["id"] != float64(id) {
+		t.Errorf("reserved keys overridden by fields: %v", m)
+	}
+	if m["note"] != "kept" {
+		t.Errorf("regular field dropped: %v", m)
+	}
+}
+
+func TestGlobalTracerAndContextSpan(t *testing.T) {
+	if Enabled() {
+		t.Fatal("tracer unexpectedly enabled at test start")
+	}
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	SetTracer(tr)
+	defer SetTracer(nil)
+	if Active() != tr || !Enabled() {
+		t.Fatal("SetTracer did not install the tracer")
+	}
+	ctx := WithSpan(context.Background(), SpanID(7))
+	if got := SpanFrom(ctx); got != 7 {
+		t.Errorf("SpanFrom = %d, want 7", got)
+	}
+	if got := SpanFrom(context.Background()); got != 0 {
+		t.Errorf("SpanFrom(empty) = %d, want 0", got)
+	}
+	SetTracer(nil)
+	if Enabled() {
+		t.Error("SetTracer(nil) did not disable tracing")
+	}
+}

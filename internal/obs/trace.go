@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies one span inside a Tracer's event stream. 0 means
+// "no span" (events parented to 0 are top-level).
+type SpanID uint64
+
+// Fields carries the event-specific payload. Values must be
+// JSON-marshalable; encoding/json sorts map keys, so the line layout is
+// deterministic for a given payload.
+type Fields map[string]any
+
+// reserved event keys; Fields entries with these names are dropped.
+var reservedKeys = [...]string{"ev", "span", "id", "parent", "t_us", "dur_us"}
+
+// DefaultHotEvery is the default sampling interval for hot-path events
+// (per-component and per-cache-operation): one traced event per
+// DefaultHotEvery occurrences. Span events and controller decisions are
+// never sampled.
+const DefaultHotEvery = 4096
+
+// Tracer emits JSON-lines trace events to an io.Writer. All methods are
+// safe for concurrent use; event lines are written atomically (one
+// mutex-guarded write per line), so the output is valid JSONL even when
+// multiple workers trace at once.
+//
+// The Tracer buffers internally; call Close (or Flush) before reading
+// the underlying writer. Close does not close the underlying writer.
+type Tracer struct {
+	mu       sync.Mutex
+	w        *bufio.Writer
+	err      error
+	start    time.Time
+	starts   map[SpanID]time.Time
+	nextID   atomic.Uint64
+	hotEvery uint64
+}
+
+// NewTracer creates a tracer writing JSONL to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{
+		w:        bufio.NewWriterSize(w, 1<<16),
+		start:    time.Now(),
+		starts:   make(map[SpanID]time.Time),
+		hotEvery: DefaultHotEvery,
+	}
+}
+
+// SetHotEvery changes the sampling interval advertised to hot-path
+// instrumentation (1 = trace every occurrence). It must be called
+// before the tracer is installed.
+func (t *Tracer) SetHotEvery(n uint64) {
+	if n == 0 {
+		n = DefaultHotEvery
+	}
+	t.hotEvery = n
+}
+
+// HotEvery returns the sampling interval for hot-path events.
+func (t *Tracer) HotEvery() uint64 { return t.hotEvery }
+
+// Err returns the first write error encountered, if any.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Flush writes buffered events through to the underlying writer.
+func (t *Tracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushLocked()
+}
+
+func (t *Tracer) flushLocked() error {
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Close flushes the tracer. The underlying writer stays open (the
+// caller owns it).
+func (t *Tracer) Close() error { return t.Flush() }
+
+// StartSpan opens a span of the given kind under parent (0 = root) and
+// emits its span_start event.
+func (t *Tracer) StartSpan(parent SpanID, kind string, fields Fields) SpanID {
+	id := SpanID(t.nextID.Add(1))
+	now := time.Now()
+	t.mu.Lock()
+	t.starts[id] = now
+	t.emitLocked(now, Fields{"ev": "span_start", "span": kind, "id": uint64(id), "parent": uint64(parent)}, fields)
+	t.mu.Unlock()
+	return id
+}
+
+// EndSpan closes a span, emitting its span_end event with the measured
+// duration. Ending an unknown (or already-ended) span is a no-op for
+// the duration but still emits the event with dur_us 0.
+func (t *Tracer) EndSpan(id SpanID, kind string, fields Fields) {
+	now := time.Now()
+	t.mu.Lock()
+	var dur time.Duration
+	if s, ok := t.starts[id]; ok {
+		dur = now.Sub(s)
+		delete(t.starts, id)
+	}
+	t.emitLocked(now, Fields{"ev": "span_end", "span": kind, "id": uint64(id), "dur_us": dur.Microseconds()}, fields)
+	t.mu.Unlock()
+}
+
+// Event emits a point event of the given kind, parented to a span.
+func (t *Tracer) Event(parent SpanID, kind string, fields Fields) {
+	now := time.Now()
+	t.mu.Lock()
+	t.emitLocked(now, Fields{"ev": kind, "parent": uint64(parent)}, fields)
+	t.mu.Unlock()
+}
+
+// emitLocked merges fields into the header map (header wins on key
+// collisions), stamps the relative timestamp, and writes one JSON line.
+func (t *Tracer) emitLocked(now time.Time, header, fields Fields) {
+	for k, v := range fields {
+		skip := false
+		for _, res := range reservedKeys {
+			if k == res {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			header[k] = v
+		}
+	}
+	header["t_us"] = now.Sub(t.start).Microseconds()
+	line, err := json.Marshal(header)
+	if err != nil {
+		// Unmarshalable payload: degrade to an error event rather than
+		// corrupting the stream.
+		line, _ = json.Marshal(Fields{"ev": "trace_error", "error": err.Error()})
+	}
+	if _, err := t.w.Write(line); err != nil && t.err == nil {
+		t.err = err
+	}
+	if err := t.w.WriteByte('\n'); err != nil && t.err == nil {
+		t.err = err
+	}
+}

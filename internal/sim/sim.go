@@ -10,8 +10,19 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"time"
 
 	"vacsem/internal/circuit"
+	"vacsem/internal/obs"
+)
+
+// Metrics of the exhaustive-enumeration path. Updates happen once per
+// batch (one CountOnesPerOutputCtx call), not per block, so the
+// always-on cost is a few atomic adds per enumeration.
+var (
+	mEnumPatterns = obs.Default.Counter("sim.enum_patterns")
+	mEnumBlocks   = obs.Default.Counter("sim.enum_blocks")
+	hEnumSeconds  = obs.Default.Histogram("sim.enum_batch_seconds", nil)
 )
 
 // basePatterns[i] is the canonical simulation word of input i for the 64
@@ -168,6 +179,7 @@ func CountOnesPerOutputCtx(ctx context.Context, c *circuit.Circuit) ([]uint64, e
 	e := NewEngine(c)
 	in := make([]uint64, n)
 	counts := make([]uint64, len(c.Outputs))
+	start := time.Now()
 	for b := uint64(0); b < blocks; b++ {
 		if poll != 0 && b%poll == 0 {
 			if err := ctx.Err(); err != nil {
@@ -182,6 +194,16 @@ func CountOnesPerOutputCtx(ctx context.Context, c *circuit.Circuit) ([]uint64, e
 		for j := range counts {
 			counts[j] += uint64(bits.OnesCount64(e.Out(j) & mask))
 		}
+	}
+	dur := time.Since(start)
+	mEnumPatterns.Add(total)
+	mEnumBlocks.Add(blocks)
+	hEnumSeconds.Observe(dur.Seconds())
+	if tr := obs.Active(); tr != nil {
+		tr.Event(obs.SpanFrom(ctx), "sim_batch", obs.Fields{
+			"patterns": total, "blocks": blocks, "gates": c.NumGates(),
+			"outputs": len(c.Outputs), "sim_us": dur.Microseconds(),
+		})
 	}
 	return counts, nil
 }

@@ -1,6 +1,8 @@
 #!/bin/sh
-# Repo health check: formatting, vet, build, and the full test suite
-# under the race detector. CI runs exactly this script.
+# Repo health check: formatting, vet, build, the full test suite under
+# the race detector, a one-iteration benchmark smoke run, and the traced
+# quickstart (which parses its own JSONL trace). CI runs exactly this
+# script.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,5 +23,11 @@ go build ./...
 
 echo "==> go test -race"
 go test -race ./...
+
+echo "==> bench smoke (one iteration per benchmark)"
+go test -run '^$' -bench=. -benchtime=1x ./...
+
+echo "==> traced quickstart (JSONL trace parses and is self-consistent)"
+go run ./examples/traced_verify >/dev/null
 
 echo "OK"

@@ -13,6 +13,7 @@ import (
 	"vacsem/internal/dist"
 	"vacsem/internal/gen"
 	"vacsem/internal/miter"
+	"vacsem/internal/obs"
 	"vacsem/internal/synth"
 	"vacsem/internal/verilog"
 )
@@ -264,3 +265,27 @@ func WriteAIGER(w io.Writer, c *Circuit) error { return aiger.Write(w, c) }
 
 // WriteVerilog serializes a circuit as a structural Verilog module.
 func WriteVerilog(w io.Writer, c *Circuit) error { return verilog.Write(w, c) }
+
+// Observability (see internal/obs): span-based JSONL tracing and a
+// process-wide metrics registry. Both are off by default and cost about
+// one atomic load per instrumented operation when disabled; enabling
+// tracing never changes verified counts.
+
+// Tracer streams span and point events as JSON lines; see NewTracer.
+type Tracer = obs.Tracer
+
+// MetricsSnapshot is a point-in-time copy of the metrics registry.
+type MetricsSnapshot = obs.Snapshot
+
+// NewTracer returns a tracer writing JSONL events to w. The caller owns
+// w; Close flushes buffered events but does not close w.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// SetTracer installs t as the process-wide tracer observed by every
+// verification started afterwards. Pass nil to disable tracing.
+func SetTracer(t *Tracer) { obs.SetTracer(t) }
+
+// Metrics snapshots the process-wide metrics registry (cumulative
+// counters, gauges and latency histograms of every verification run in
+// this process). Use its WriteTable or WriteJSON to render it.
+func Metrics() MetricsSnapshot { return obs.Default.Snapshot() }
