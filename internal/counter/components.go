@@ -98,10 +98,16 @@ func (s *Solver) cacheKey(comp *component) string {
 	for _, ci := range comp.clauses {
 		binary.LittleEndian.PutUint32(tmp[:], uint32(ci))
 		buf = append(buf, tmp[0], tmp[1], tmp[2], tmp[3])
+		// One mask byte per 8 literal positions. The clause id fixes the
+		// clause length, so the variable mask width stays self-delimiting.
 		var mask byte
 		for pos, l := range s.clauses[ci] {
+			if pos > 0 && pos%8 == 0 {
+				buf = append(buf, mask)
+				mask = 0
+			}
 			if s.assign[litVar(l)] == unassigned {
-				mask |= 1 << uint(pos)
+				mask |= 1 << uint(pos%8)
 			}
 		}
 		buf = append(buf, mask)
