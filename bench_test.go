@@ -174,6 +174,28 @@ func BenchmarkAblationCache(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationSharedCache compares the run-wide shared component
+// cache against private per-sub-miter caches on a multi-output MED
+// workload (the sub-miters share most of their logic, which is where
+// cross-sub-miter hits come from). Counts are identical either way.
+func BenchmarkAblationSharedCache(b *testing.B) {
+	exact := gen.RippleCarryAdder(16)
+	approx := als.LowerORAdder(16, 5)
+	for _, disable := range []bool{false, true} {
+		b.Run(fmt.Sprintf("disableSharedCache=%v", disable), func(b *testing.B) {
+			opt := core.Options{
+				Method: core.MethodVACSEM, DisableSharedCache: disable,
+				Workers: 0, TimeLimit: 5 * time.Minute,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.VerifyMED(exact, approx, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationEngine toggles the search-engine features (implicit
 // BCP, clause learning) on the adder-MED workload where they matter.
 func BenchmarkAblationEngine(b *testing.B) {

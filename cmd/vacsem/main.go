@@ -54,22 +54,23 @@ func main() {
 // runs after the deferred stop.
 func run() int {
 	var (
-		metric     = flag.String("metric", "er", "metric: er, med, mhd or thr")
-		exactPath  = flag.String("exact", "", "exact circuit file (.blif or .aag)")
-		apxPath    = flag.String("approx", "", "approximate circuit file (.blif or .aag)")
-		method     = flag.String("method", "vacsem", "engine: vacsem, dpll, enum or bdd")
-		threshold  = flag.String("threshold", "0", "deviation threshold for -metric thr")
-		timeLimit  = flag.Duration("timelimit", 0, "abort after this duration (0 = none)")
-		noSynth    = flag.Bool("nosynth", false, "skip the synthesis (compress) step")
-		alpha      = flag.Float64("alpha", 0, "density-score scaling factor (default 2)")
-		workers    = flag.Int("workers", 0, "concurrent sub-miter solvers (0 = one per CPU)")
-		progress   = flag.Bool("progress", false, "stream per-sub-miter completion events")
-		verbose    = flag.Bool("v", false, "print per-output-bit details")
-		tracePath  = flag.String("trace", "", "write span/event trace (JSON lines) to this file")
-		metricsFmt = flag.String("metrics", "", "print end-of-run metrics: table or json")
-		pprofAddr  = flag.String("pprof", "", "serve live net/http/pprof on this address (e.g. localhost:6060)")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		metric      = flag.String("metric", "er", "metric: er, med, mhd or thr")
+		exactPath   = flag.String("exact", "", "exact circuit file (.blif or .aag)")
+		apxPath     = flag.String("approx", "", "approximate circuit file (.blif or .aag)")
+		method      = flag.String("method", "vacsem", "engine: vacsem, dpll, enum or bdd")
+		threshold   = flag.String("threshold", "0", "deviation threshold for -metric thr")
+		timeLimit   = flag.Duration("timelimit", 0, "abort after this duration (0 = none)")
+		noSynth     = flag.Bool("nosynth", false, "skip the synthesis (compress) step")
+		sharedCache = flag.Bool("shared-cache", true, "share one component-count cache across all sub-miter solvers (counts are identical either way)")
+		alpha       = flag.Float64("alpha", 0, "density-score scaling factor (default 2)")
+		workers     = flag.Int("workers", 0, "concurrent sub-miter solvers (0 = one per CPU)")
+		progress    = flag.Bool("progress", false, "stream per-sub-miter completion events")
+		verbose     = flag.Bool("v", false, "print per-output-bit details")
+		tracePath   = flag.String("trace", "", "write span/event trace (JSON lines) to this file")
+		metricsFmt  = flag.String("metrics", "", "print end-of-run metrics: table or json")
+		pprofAddr   = flag.String("pprof", "", "serve live net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *exactPath == "" || *apxPath == "" {
@@ -96,10 +97,11 @@ func run() int {
 	}()
 
 	if err := verify(*metric, *exactPath, *apxPath, *method, *threshold, core.Options{
-		TimeLimit: *timeLimit,
-		NoSynth:   *noSynth,
-		Alpha:     *alpha,
-		Workers:   *workers,
+		TimeLimit:          *timeLimit,
+		NoSynth:            *noSynth,
+		Alpha:              *alpha,
+		Workers:            *workers,
+		DisableSharedCache: !*sharedCache,
 	}, *progress, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "vacsem:", err)
 		exitCode = 1
@@ -173,10 +175,11 @@ func verify(metric, exactPath, apxPath, method, threshold string, opt core.Optio
 	fmt.Printf("value~     : %.6g\n", res.Float())
 	fmt.Printf("count      : %s / 2^%d patterns\n", res.Count.String(), res.NumInputs)
 	fmt.Printf("runtime    : %v (wall %v)\n", res.Runtime, time.Since(start))
-	fmt.Printf("stats      : dec=%d prop=%d comp=%d cache=%d/%d sim=%d simpat=%d\n",
+	fmt.Printf("stats      : dec=%d prop=%d comp=%d cache=%d/%d (cross=%d evict=%d) sim=%d simpat=%d\n",
 		res.TotalStats.Decisions, res.TotalStats.Propagations,
 		res.TotalStats.Components, res.TotalStats.CacheHits,
-		res.TotalStats.CacheStores, res.TotalStats.SimCalls,
+		res.TotalStats.CacheStores, res.TotalStats.CacheCrossHits,
+		res.TotalStats.CacheEvictions, res.TotalStats.SimCalls,
 		res.TotalStats.SimPatterns)
 	if verbose {
 		for _, sub := range res.Subs {

@@ -41,6 +41,10 @@ type Config struct {
 	// (0 = one per CPU). Counts are identical at any worker count;
 	// runtimes improve on multi-output (MED) miters.
 	Workers int
+	// NoSharedCache gives every sub-miter solver a private component
+	// cache instead of the run-wide shared one (ablation; counts are
+	// identical either way).
+	NoSharedCache bool
 	// OnRun, when non-nil, receives one RunRecord per individual
 	// verification (each approximate version of each benchmark, per
 	// method), carrying the per-sub-miter wall times the text tables
@@ -308,7 +312,10 @@ func RunTable(specs []Spec, metric Metric, cfg Config) []Row {
 			cell := Cell{}
 			logSum, completed := 0.0, 0
 			for v, approx := range spec.Approx {
-				opt := core.Options{Method: m, TimeLimit: cfg.TimeLimit, Workers: cfg.Workers}
+				opt := core.Options{
+					Method: m, TimeLimit: cfg.TimeLimit,
+					Workers: cfg.Workers, DisableSharedCache: cfg.NoSharedCache,
+				}
 				var res *core.Result
 				var err error
 				start := time.Now()
@@ -406,7 +413,10 @@ func WriteDDScalability(w io.Writer, cfg Config) {
 	fmt.Fprintf(w, "%-13s %14s %14s\n", "Instance", "BDD/s", "VACSEM/s")
 	for _, p := range points {
 		render := func(m core.Method) string {
-			opt := core.Options{Method: m, TimeLimit: cfg.TimeLimit, Workers: cfg.Workers}
+			opt := core.Options{
+				Method: m, TimeLimit: cfg.TimeLimit,
+				Workers: cfg.Workers, DisableSharedCache: cfg.NoSharedCache,
+			}
 			start := time.Now()
 			var res *core.Result
 			var err error

@@ -24,6 +24,9 @@ type SubRecord struct {
 	Decisions uint64  `json:"decisions,omitempty"`
 	SimCalls  uint64  `json:"sim_calls,omitempty"`
 	CacheHits uint64  `json:"cache_hits,omitempty"`
+	// CacheCross counts hits on components first solved inside another
+	// sub-miter of the same run (nonzero only with the shared cache).
+	CacheCross uint64 `json:"cache_cross_hits,omitempty"`
 }
 
 // RunRecord is one (benchmark, metric, method, version) measurement.
@@ -76,13 +79,14 @@ func newRunRecord(bench, metric string, m core.Method, version int, res *core.Re
 	rec.Subs = make([]SubRecord, len(res.Subs))
 	for i, sub := range res.Subs {
 		rec.Subs[i] = SubRecord{
-			Output:    sub.Output,
-			Seconds:   sub.Runtime.Seconds(),
-			Count:     sub.Count.String(),
-			Trivial:   sub.Trivial,
-			Decisions: sub.Stats.Decisions,
-			SimCalls:  sub.Stats.SimCalls,
-			CacheHits: sub.Stats.CacheHits,
+			Output:     sub.Output,
+			Seconds:    sub.Runtime.Seconds(),
+			Count:      sub.Count.String(),
+			Trivial:    sub.Trivial,
+			Decisions:  sub.Stats.Decisions,
+			SimCalls:   sub.Stats.SimCalls,
+			CacheHits:  sub.Stats.CacheHits,
+			CacheCross: sub.Stats.CacheCrossHits,
 		}
 	}
 	return rec

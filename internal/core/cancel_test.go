@@ -89,6 +89,26 @@ func TestTimeLimitStillMapsToErrTimeout(t *testing.T) {
 	}
 }
 
+// TestCallerDeadlineNotConflatedWithTimeout pins the other half of the
+// mapErr contract: a deadline the *caller* put on the context must
+// surface as context.DeadlineExceeded even when Options.TimeLimit is
+// also set. (A previous version mapped any DeadlineExceeded to
+// ErrTimeout whenever TimeLimit > 0, swallowing caller deadlines; the
+// run's own limit is now identified by its cancellation cause.)
+func TestCallerDeadlineNotConflatedWithTimeout(t *testing.T) {
+	exact := gen.ArrayMultiplier(10)
+	approx := als.TruncatedMultiplier(10, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := VerifyERContext(ctx, exact, approx, Options{Method: MethodDPLL, TimeLimit: time.Hour})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Error("caller deadline conflated with the run's own ErrTimeout")
+	}
+}
+
 // TestWorkersParallelMatchesSequential runs the same MED verification
 // with 1 and 4 workers and asserts bit-identical Value and Count plus
 // identical sub-result ordering — the determinism contract of the

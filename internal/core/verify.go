@@ -121,6 +121,10 @@ type Options struct {
 	MaxSimVars int
 	// DisableCache turns off component caching (ablation).
 	DisableCache bool
+	// DisableSharedCache gives every sub-miter solver a private component
+	// cache instead of the run-wide shared one (ablation; results are
+	// bit-identical either way, sharing only adds cross-sub-miter hits).
+	DisableSharedCache bool
 	// DisableIBCP turns off failed-literal probing (ablation).
 	DisableIBCP bool
 	// DisableLearning turns off conflict-driven clause learning (ablation).
@@ -150,6 +154,7 @@ func (o *Options) engineConfig() engine.Config {
 		MaxSimVars:      o.MaxSimVars,
 		MinSimGates:     o.MinSimGates,
 		DisableCache:    o.DisableCache,
+		SharedCache:     !o.DisableSharedCache,
 		DisableIBCP:     o.DisableIBCP,
 		DisableLearning: o.DisableLearning,
 		BDDNodeLimit:    o.BDDNodeLimit,
@@ -284,27 +289,38 @@ func powerWeights(n int) []*big.Int {
 	return w
 }
 
+// errRunDeadline is the cancellation cause installed by withTimeLimit,
+// so mapErr can tell the run's own TimeLimit expiry apart from a
+// deadline the caller layered onto the context.
+var errRunDeadline = errors.New("core: run time limit reached")
+
 // withTimeLimit layers Options.TimeLimit onto the caller's context as a
-// deadline. The returned cancel func must always be called.
+// deadline, tagged with errRunDeadline as the cancellation cause. The
+// returned cancel func must always be called.
 func withTimeLimit(ctx context.Context, opt Options) (context.Context, context.CancelFunc) {
 	if opt.TimeLimit > 0 {
-		return context.WithTimeout(ctx, opt.TimeLimit)
+		return context.WithTimeoutCause(ctx, opt.TimeLimit, errRunDeadline)
 	}
 	return context.WithCancel(ctx)
 }
 
 // mapErr shapes backend errors for the public API: when the run's own
-// TimeLimit produced the deadline, expiry surfaces as the historical
-// ErrTimeout; every other error — including context.Canceled and
-// context.DeadlineExceeded from a caller-supplied deadline — propagates
-// verbatim. (The pre-refactor flow conflated every counter error into
-// ErrTimeout.)
-func mapErr(err error, opt Options) error {
+// TimeLimit produced the deadline — identified by the errRunDeadline
+// cancellation cause, not by TimeLimit merely being set — expiry
+// surfaces as the historical ErrTimeout. Every other error, including
+// context.Canceled and a context.DeadlineExceeded from a deadline the
+// caller put on the context, propagates verbatim. (An earlier version
+// mapped any DeadlineExceeded to ErrTimeout whenever TimeLimit > 0,
+// swallowing caller deadlines; before that, every counter error became
+// a timeout.)
+func mapErr(ctx context.Context, err error) error {
 	if err == nil {
 		return nil
 	}
-	if opt.TimeLimit > 0 &&
-		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, counter.ErrTimeout)) {
+	if errors.Is(err, counter.ErrTimeout) {
+		return ErrTimeout
+	}
+	if errors.Is(err, context.DeadlineExceeded) && errors.Is(context.Cause(ctx), errRunDeadline) {
 		return ErrTimeout
 	}
 	return err
@@ -340,7 +356,7 @@ func verifyMiter(ctx context.Context, metric string, m *circuit.Circuit, weights
 		Progress: opt.Progress,
 	})
 	if err != nil {
-		err = mapErr(err, opt)
+		err = mapErr(ctx, err)
 		mRunErrors.Inc()
 		hRunSeconds.Observe(time.Since(start).Seconds())
 		if tr != nil {

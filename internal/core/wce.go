@@ -55,7 +55,7 @@ func VerifyWCEContext(ctx context.Context, exact, approx *circuit.Circuit, opt O
 		thr := new(big.Int).Sub(probe, big.NewInt(1))
 		sat, err := thresholdSat(ctx, exact, approx, thr, opt)
 		if err != nil {
-			return nil, mapErr(err, opt)
+			return nil, mapErr(ctx, err)
 		}
 		res.SATCalls++
 		if !sat {
@@ -78,7 +78,7 @@ func VerifyWCEContext(ctx context.Context, exact, approx *circuit.Circuit, opt O
 		thr := new(big.Int).Sub(mid, big.NewInt(1))
 		sat, err := thresholdSat(ctx, exact, approx, thr, opt)
 		if err != nil {
-			return nil, mapErr(err, opt)
+			return nil, mapErr(ctx, err)
 		}
 		res.SATCalls++
 		if sat {

@@ -3,6 +3,7 @@ package counter
 import (
 	"encoding/binary"
 	"math/big"
+	"slices"
 	"sort"
 )
 
@@ -88,30 +89,50 @@ func (s *Solver) hasActiveClause(v int32) bool {
 	return false
 }
 
-// cacheKey canonicalizes the residual component: the sorted active clause
-// ids plus, per clause, the bitmask of literal positions still free. Two
-// occurrences with equal keys denote literally identical residual
-// subformulas, so caching on this key is sound.
+// cacheKey canonicalizes the residual component into a solver-independent
+// content key: the component's variables are remapped to dense local
+// indices in their sorted order, every active clause is reduced to its
+// free literals (falsified literals drop; a satisfied clause is not
+// active) encoded over the local indices and sorted, and the clause
+// tuples are sorted lexicographically before being serialized as uvarint
+// streams. Two equal keys denote residual subformulas identical up to
+// variable renaming, and model counts are invariant under renaming — so
+// caching on this key is sound, including across different solvers'
+// formulas (the shared cross-sub-miter cache). Clause ids never enter
+// the key, so the historic wide-clause position-mask aliasing cannot
+// recur by construction.
 func (s *Solver) cacheKey(comp *component) string {
-	buf := make([]byte, 0, 5*len(comp.clauses))
-	var tmp [4]byte
-	for _, ci := range comp.clauses {
-		binary.LittleEndian.PutUint32(tmp[:], uint32(ci))
-		buf = append(buf, tmp[0], tmp[1], tmp[2], tmp[3])
-		// One mask byte per 8 literal positions. The clause id fixes the
-		// clause length, so the variable mask width stays self-delimiting.
-		var mask byte
-		for pos, l := range s.clauses[ci] {
-			if pos > 0 && pos%8 == 0 {
-				buf = append(buf, mask)
-				mask = 0
-			}
-			if s.assign[litVar(l)] == unassigned {
-				mask |= 1 << uint(pos%8)
-			}
-		}
-		buf = append(buf, mask)
+	for i, v := range comp.vars {
+		s.varRank[v] = int32(i)
 	}
+	lits := s.keyLits[:0]
+	cls := s.keyCls[:0]
+	for _, ci := range comp.clauses {
+		start := len(lits)
+		for _, l := range s.clauses[ci] {
+			v := litVar(l)
+			if s.assign[v] != unassigned {
+				continue
+			}
+			code := s.varRank[v] << 1
+			if l < 0 {
+				code |= 1
+			}
+			lits = append(lits, code)
+		}
+		seg := lits[start:len(lits):len(lits)]
+		slices.Sort(seg)
+		cls = append(cls, seg)
+	}
+	sort.Slice(cls, func(i, j int) bool { return slices.Compare(cls[i], cls[j]) < 0 })
+	buf := s.keyBuf[:0]
+	for _, seg := range cls {
+		buf = binary.AppendUvarint(buf, uint64(len(seg)))
+		for _, code := range seg {
+			buf = binary.AppendUvarint(buf, uint64(code))
+		}
+	}
+	s.keyLits, s.keyCls, s.keyBuf = lits[:0], cls[:0], buf
 	return string(buf)
 }
 
@@ -128,10 +149,13 @@ func (s *Solver) solveComponent(comp *component) *big.Int {
 		s.traceComponent(comp)
 	}
 	var key string
-	if !s.cfg.DisableCache {
+	if s.cache != nil {
 		key = s.cacheKey(comp)
-		if v, ok := s.cache[key]; ok {
+		if v, cross, ok := s.cache.Lookup(key, s.cfg.CacheOwner); ok {
 			s.stats.CacheHits++
+			if cross {
+				s.stats.CacheCrossHits++
+			}
 			if s.tr != nil {
 				s.traceCache("hit")
 			}
@@ -149,17 +173,17 @@ func (s *Solver) solveComponent(comp *component) *big.Int {
 	return cnt
 }
 
-// cacheStore memoizes a component count, clearing the cache wholesale
-// when it outgrows the configured bound (exactness is unaffected).
+// cacheStore memoizes a component count. A full cache shard evicts per
+// entry (2-random) rather than clearing wholesale; the eviction count is
+// tracked separately from stores, so the stats distinguish cache churn
+// from growth. cnt must not be mutated after the call.
 func (s *Solver) cacheStore(key string, cnt *big.Int) {
-	if s.cfg.DisableCache {
+	if s.cache == nil {
 		return
 	}
-	if len(s.cache) >= s.cfg.MaxCacheEntries {
-		s.cache = make(map[string]*big.Int)
-	}
-	s.cache[key] = cnt
+	evicted := s.cache.Store(key, cnt, s.cfg.CacheOwner)
 	s.stats.CacheStores++
+	s.stats.CacheEvictions += uint64(evicted)
 	if s.tr != nil {
 		s.traceCache("store")
 	}

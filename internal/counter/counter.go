@@ -63,10 +63,21 @@ type Config struct {
 	// MaxLearned caps the learned-clause database (default 100000).
 	MaxLearned int
 	// MaxCacheEntries bounds the component cache (default 4 million
-	// entries). When the bound is hit the cache is cleared wholesale —
-	// counts stay exact, only reuse is lost — so memory stays bounded on
-	// adversarial instances.
+	// entries). When a cache shard is full, entries are evicted
+	// individually (2-random) — counts stay exact, only reuse is lost —
+	// so memory stays bounded on adversarial instances.
 	MaxCacheEntries int
+	// Cache, when non-nil, is an external component-count cache shared
+	// with other solvers (see Cache). Keys are solver-independent
+	// content keys, so identical residual subformulas arising in
+	// different formulas share entries; counts are unaffected by
+	// sharing. When nil, the solver builds a private Cache per Count
+	// call, bounded by MaxCacheEntries.
+	Cache *Cache
+	// CacheOwner tags this solver's stores in a shared Cache; hits on
+	// entries stored under a different tag are reported as
+	// Stats.CacheCrossHits (cross-sub-miter reuse).
+	CacheOwner int32
 	// TimeLimit aborts the count after the given duration. 0 = unlimited.
 	TimeLimit time.Duration
 }
@@ -86,10 +97,14 @@ func (c *Config) withDefaults() Config {
 		out.MaxLearned = 100000
 	}
 	if out.MaxCacheEntries == 0 {
-		out.MaxCacheEntries = 4 << 20
+		out.MaxCacheEntries = defaultMaxCacheEntries
 	}
 	return out
 }
+
+// defaultMaxCacheEntries bounds the component cache when the caller
+// does not: 4 million entries.
+const defaultMaxCacheEntries = 4 << 20
 
 // Stats reports the work performed by one Count call.
 type Stats struct {
@@ -98,9 +113,17 @@ type Stats struct {
 	Components   uint64 // residual components solved
 	CacheHits    uint64
 	CacheStores  uint64
-	SimCalls     uint64 // components counted by simulation
-	SimRejected  uint64 // components where the controller declined
-	SimPatterns  uint64 // total patterns simulated
+	// CacheCrossHits counts cache hits on entries stored by a different
+	// solver (a different sub-miter of the same run, under the engine's
+	// shared cache). Always 0 with a private cache.
+	CacheCrossHits uint64
+	// CacheEvictions counts entries this solver's stores pushed out of a
+	// full cache shard — churn, as opposed to the growth CacheStores
+	// measures.
+	CacheEvictions uint64
+	SimCalls       uint64 // components counted by simulation
+	SimRejected    uint64 // components where the controller declined
+	SimPatterns    uint64 // total patterns simulated
 	// FailedLiterals counts literals forced by implicit BCP.
 	FailedLiterals uint64
 	// Learned counts clauses added by conflict analysis.
@@ -118,6 +141,8 @@ func (s *Stats) Add(other Stats) {
 	s.Components += other.Components
 	s.CacheHits += other.CacheHits
 	s.CacheStores += other.CacheStores
+	s.CacheCrossHits += other.CacheCrossHits
+	s.CacheEvictions += other.CacheEvictions
 	s.SimCalls += other.SimCalls
 	s.SimRejected += other.SimRejected
 	s.SimPatterns += other.SimPatterns
@@ -135,6 +160,8 @@ func (s Stats) Diff(prev Stats) Stats {
 		Components:     s.Components - prev.Components,
 		CacheHits:      s.CacheHits - prev.CacheHits,
 		CacheStores:    s.CacheStores - prev.CacheStores,
+		CacheCrossHits: s.CacheCrossHits - prev.CacheCrossHits,
+		CacheEvictions: s.CacheEvictions - prev.CacheEvictions,
 		SimCalls:       s.SimCalls - prev.SimCalls,
 		SimRejected:    s.SimRejected - prev.SimRejected,
 		SimPatterns:    s.SimPatterns - prev.SimPatterns,
@@ -175,8 +202,14 @@ type Solver struct {
 	varSeen []uint32
 	clSeen  []uint32
 
-	// cache
-	cache map[string]*big.Int
+	// cache: either Config.Cache (shared across solvers) or a private
+	// Cache built per Count call; nil when caching is disabled.
+	cache *Cache
+	// canonical-key scratch (see cacheKey)
+	varRank []int32   // var -> dense local index within the current component
+	keyLits []int32   // flat free-literal codes, clause by clause
+	keyCls  [][]int32 // per-clause views into keyLits
+	keyBuf  []byte    // serialized key
 
 	// sim hook scratch
 	simVals   []uint64
@@ -228,6 +261,7 @@ func New(f *cnf.Formula, cfg Config) *Solver {
 	s.reason = make([]int32, f.NumVars+1)
 	s.level = make([]int32, f.NumVars+1)
 	s.assign = make([]int8, f.NumVars+1)
+	s.varRank = make([]int32, f.NumVars+1)
 	s.nTrue = make([]int32, len(s.clauses))
 	s.nFalse = make([]int32, len(s.clauses))
 	s.varSeen = make([]uint32, f.NumVars+1)
@@ -359,7 +393,14 @@ func (s *Solver) reset() {
 	}
 	s.trail = s.trail[:0]
 	s.propQ = s.propQ[:0]
-	s.cache = make(map[string]*big.Int)
+	switch {
+	case s.cfg.DisableCache:
+		s.cache = nil
+	case s.cfg.Cache != nil:
+		s.cache = s.cfg.Cache // shared: survives resets by design
+	default:
+		s.cache = NewCache(s.cfg.MaxCacheEntries, 0)
+	}
 	s.stats = Stats{}
 	s.ctx = nil
 	s.aborted = false

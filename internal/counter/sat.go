@@ -72,10 +72,16 @@ func (s *Solver) satComponent(comp *component) (bool, bool) {
 	if s.checkAbort() {
 		return false, false
 	}
-	key := s.cacheKey(comp)
-	if v, ok := s.cache[key]; ok {
-		s.stats.CacheHits++
-		return v.Sign() != 0, true
+	var key string
+	if s.cache != nil {
+		key = s.cacheKey(comp)
+		if v, cross, ok := s.cache.Lookup(key, s.cfg.CacheOwner); ok {
+			s.stats.CacheHits++
+			if cross {
+				s.stats.CacheCrossHits++
+			}
+			return v.Sign() != 0, true
+		}
 	}
 	if cnt, ok := s.trySimulate(comp); ok {
 		s.cacheStore(key, cnt)

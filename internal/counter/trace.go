@@ -23,6 +23,8 @@ var (
 	mComponents     = obs.Default.Counter("counter.components")
 	mCacheHits      = obs.Default.Counter("counter.cache_hits")
 	mCacheStores    = obs.Default.Counter("counter.cache_stores")
+	mCacheCross     = obs.Default.Counter("counter.cache_cross_hits")
+	mCacheEvictions = obs.Default.Counter("counter.cache_evictions")
 	mSimCalls       = obs.Default.Counter("counter.sim_calls")
 	mSimRejected    = obs.Default.Counter("counter.sim_rejected")
 	mSimPatterns    = obs.Default.Counter("counter.sim_patterns")
@@ -41,6 +43,8 @@ func (s *Solver) finishObs() {
 	mComponents.Add(s.stats.Components)
 	mCacheHits.Add(s.stats.CacheHits)
 	mCacheStores.Add(s.stats.CacheStores)
+	mCacheCross.Add(s.stats.CacheCrossHits)
+	mCacheEvictions.Add(s.stats.CacheEvictions)
 	mSimCalls.Add(s.stats.SimCalls)
 	mSimRejected.Add(s.stats.SimRejected)
 	mSimPatterns.Add(s.stats.SimPatterns)
@@ -49,7 +53,7 @@ func (s *Solver) finishObs() {
 	if s.tr != nil {
 		if delta := s.stats.Diff(s.lastEmit); delta != (Stats{}) {
 			s.lastEmit = s.stats
-			s.tr.Event(s.span, "stats", obs.Fields{"delta": delta, "cache_size": len(s.cache), "final": true})
+			s.tr.Event(s.span, "stats", obs.Fields{"delta": delta, "cache_size": s.cacheSize(), "final": true})
 		}
 	}
 }
@@ -66,7 +70,17 @@ func (s *Solver) traceComponent(comp *component) {
 	})
 	delta := s.stats.Diff(s.lastEmit)
 	s.lastEmit = s.stats
-	s.tr.Event(s.span, "stats", obs.Fields{"delta": delta, "cache_size": len(s.cache)})
+	s.tr.Event(s.span, "stats", obs.Fields{"delta": delta, "cache_size": s.cacheSize()})
+}
+
+// cacheSize reports the entry count of the active cache (shared caches
+// include other solvers' entries). Only called from sampled trace paths
+// — Cache.Len takes every shard lock.
+func (s *Solver) cacheSize() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.Len()
 }
 
 // traceCache emits a sampled cache event (op is "hit" or "store").
@@ -77,8 +91,9 @@ func (s *Solver) traceCache(op string) {
 		return
 	}
 	s.tr.Event(s.span, "cache", obs.Fields{
-		"op": op, "size": len(s.cache),
+		"op": op, "size": s.cacheSize(),
 		"hits": s.stats.CacheHits, "stores": s.stats.CacheStores,
+		"evictions": s.stats.CacheEvictions, "cross_hits": s.stats.CacheCrossHits,
 	})
 }
 

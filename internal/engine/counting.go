@@ -54,6 +54,16 @@ func (b *countingBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) 
 	subs := miter.Split(work)
 	results := make([]SubResult, len(subs))
 
+	// One shared component-count cache for the whole run: the sub-miters
+	// embed the same two circuit copies and subtractor, so canonical
+	// residual components recur across outputs and a count solved inside
+	// one sub-miter is reused by the rest. Owner tags (index+1) let the
+	// cache distinguish cross-sub-miter hits from same-solver hits.
+	var cache *counter.Cache
+	if t.Config.SharedCache && !t.Config.DisableCache {
+		cache = counter.NewCache(0, 0)
+	}
+
 	workers := t.Config.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -98,7 +108,7 @@ func (b *countingBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) 
 			if j >= len(subs) || gctx.Err() != nil {
 				return
 			}
-			sr, err := b.solveSub(gctx, work, subs[j], j, t.Weights[j], t.Config)
+			sr, err := b.solveSub(gctx, work, subs[j], j, t.Weights[j], t.Config, cache)
 			results[j] = sr
 			if err != nil {
 				errOnce.Do(func() { firstErr = err })
@@ -145,7 +155,7 @@ func (b *countingBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) 
 // solveSub runs Phase 1 + Phase 2 on one single-output sub-miter. The
 // sub_miter trace span and the per-sub-miter metrics cover every exit
 // path (trivial, encode error, counter error, success).
-func (b *countingBackend) solveSub(ctx context.Context, m, sub *circuit.Circuit, j int, weight *big.Int, cfg Config) (sr SubResult, err error) {
+func (b *countingBackend) solveSub(ctx context.Context, m, sub *circuit.Circuit, j int, weight *big.Int, cfg Config, cache *counter.Cache) (sr SubResult, err error) {
 	subStart := time.Now()
 	sr = SubResult{
 		Output:      m.OutputName(j),
@@ -215,6 +225,8 @@ func (b *countingBackend) solveSub(ctx context.Context, m, sub *circuit.Circuit,
 			DisableCache:    cfg.DisableCache,
 			DisableIBCP:     cfg.DisableIBCP,
 			DisableLearning: cfg.DisableLearning,
+			Cache:           cache,
+			CacheOwner:      int32(j) + 1,
 		})
 		var cnt *big.Int
 		cnt, err = s.CountCtx(ctx)

@@ -46,6 +46,12 @@ type Config struct {
 	MinSimGates int
 	// DisableCache turns off component caching (ablation).
 	DisableCache bool
+	// SharedCache shares one component-count cache across all sub-miter
+	// solvers of a run (the sub-miters of one miter share both circuit
+	// copies plus the subtractor, so residual components recur across
+	// outputs). Counts are bit-identical either way; sharing only trades
+	// memory for cross-sub-miter hits. Ignored when DisableCache is set.
+	SharedCache bool
 	// DisableIBCP turns off failed-literal probing (ablation).
 	DisableIBCP bool
 	// DisableLearning turns off conflict-driven clause learning (ablation).

@@ -21,6 +21,11 @@ go vet ./...
 echo "==> go build"
 go build ./...
 
+echo "==> go test -race -short (cache/engine concurrency fast path)"
+# Focused first pass over the packages that share the component cache
+# across goroutines: fails fast on a cache race before the full suite.
+go test -race -short ./internal/counter ./internal/engine ./internal/core
+
 echo "==> go test -race"
 go test -race ./...
 
