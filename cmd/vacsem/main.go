@@ -64,6 +64,7 @@ func run() int {
 		sharedCache = flag.Bool("shared-cache", true, "share one component-count cache across all sub-miter solvers (counts are identical either way)")
 		alpha       = flag.Float64("alpha", 0, "density-score scaling factor (default 2)")
 		workers     = flag.Int("workers", 0, "concurrent sub-miter solvers (0 = one per CPU)")
+		simWorkers  = flag.Int("sim-workers", 0, "goroutines for exhaustive simulation block enumeration (0 = one per CPU; counts are bit-identical at any setting)")
 		progress    = flag.Bool("progress", false, "stream per-sub-miter completion events")
 		verbose     = flag.Bool("v", false, "print per-output-bit details")
 		tracePath   = flag.String("trace", "", "write span/event trace (JSON lines) to this file")
@@ -101,6 +102,7 @@ func run() int {
 		NoSynth:            *noSynth,
 		Alpha:              *alpha,
 		Workers:            *workers,
+		SimWorkers:         *simWorkers,
 		DisableSharedCache: !*sharedCache,
 	}, *progress, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "vacsem:", err)

@@ -41,6 +41,10 @@ type Config struct {
 	// (0 = one per CPU). Counts are identical at any worker count;
 	// runtimes improve on multi-output (MED) miters.
 	Workers int
+	// SimWorkers bounds the goroutines the enum method's simulation
+	// kernel uses per verification (0 = one per CPU; counts are
+	// bit-identical at any setting).
+	SimWorkers int
 	// NoSharedCache gives every sub-miter solver a private component
 	// cache instead of the run-wide shared one (ablation; counts are
 	// identical either way).
@@ -314,7 +318,8 @@ func RunTable(specs []Spec, metric Metric, cfg Config) []Row {
 			for v, approx := range spec.Approx {
 				opt := core.Options{
 					Method: m, TimeLimit: cfg.TimeLimit,
-					Workers: cfg.Workers, DisableSharedCache: cfg.NoSharedCache,
+					Workers: cfg.Workers, SimWorkers: cfg.SimWorkers,
+					DisableSharedCache: cfg.NoSharedCache,
 				}
 				var res *core.Result
 				var err error
@@ -415,7 +420,8 @@ func WriteDDScalability(w io.Writer, cfg Config) {
 		render := func(m core.Method) string {
 			opt := core.Options{
 				Method: m, TimeLimit: cfg.TimeLimit,
-				Workers: cfg.Workers, DisableSharedCache: cfg.NoSharedCache,
+				Workers: cfg.Workers, SimWorkers: cfg.SimWorkers,
+				DisableSharedCache: cfg.NoSharedCache,
 			}
 			start := time.Now()
 			var res *core.Result

@@ -98,12 +98,19 @@ func newRunRecord(bench, metric string, m core.Method, version int, res *core.Re
 // performance trajectory of the repository can be tracked from data
 // instead of eyeballing table output.
 type Report struct {
-	Generated string `json:"generated"` // RFC 3339
-	Suite     string `json:"suite"`     // "scaled" or "full"
-	Versions  int    `json:"versions"`
-	TimeLimit string `json:"time_limit"`
-	Workers   int    `json:"workers"`
-	Tables    string `json:"tables"`
+	Generated  string `json:"generated"` // RFC 3339
+	Suite      string `json:"suite"`     // "scaled" or "full"
+	Versions   int    `json:"versions"`
+	TimeLimit  string `json:"time_limit"`
+	Workers    int    `json:"workers"`
+	SimWorkers int    `json:"sim_workers"`
+	Tables     string `json:"tables"`
+
+	// SimBlocksPerSec is the run-wide throughput of the compiled
+	// simulation kernel (pattern blocks counted / kernel-seconds), the
+	// perf-trajectory headline AttachMetrics derives from the metrics
+	// snapshot. Zero when the kernel never ran.
+	SimBlocksPerSec float64 `json:"sim_blocks_per_sec"`
 
 	mu      sync.Mutex
 	Runs    []RunRecord   `json:"runs"`
@@ -118,12 +125,13 @@ func NewReport(cfg Config, tables string, now time.Time) *Report {
 		suite = "full"
 	}
 	return &Report{
-		Generated: now.Format(time.RFC3339),
-		Suite:     suite,
-		Versions:  cfg.Versions,
-		TimeLimit: cfg.TimeLimit.String(),
-		Workers:   cfg.Workers,
-		Tables:    tables,
+		Generated:  now.Format(time.RFC3339),
+		Suite:      suite,
+		Versions:   cfg.Versions,
+		TimeLimit:  cfg.TimeLimit.String(),
+		Workers:    cfg.Workers,
+		SimWorkers: cfg.SimWorkers,
+		Tables:     tables,
 	}
 }
 
@@ -135,10 +143,22 @@ func (r *Report) Add(rec RunRecord) {
 	r.Runs = append(r.Runs, rec)
 }
 
-// AttachMetrics snapshots the default metrics registry into the report.
+// AttachMetrics snapshots the default metrics registry into the report
+// and derives the kernel throughput headline from it.
 func (r *Report) AttachMetrics() {
 	s := obs.Default.Snapshot()
 	r.Metrics = &s
+	var blocks uint64
+	for _, c := range s.Counters {
+		if c.Name == "sim.kernel_blocks" {
+			blocks = c.Value
+		}
+	}
+	for _, h := range s.Histograms {
+		if h.Name == "sim.kernel_seconds" && h.Sum > 0 {
+			r.SimBlocksPerSec = float64(blocks) / h.Sum
+		}
+	}
 }
 
 // WriteJSON serializes the report.

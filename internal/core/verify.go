@@ -139,6 +139,10 @@ type Options struct {
 	// 0 means runtime.GOMAXPROCS(0); 1 forces sequential solving.
 	// Results are deterministic regardless of the worker count.
 	Workers int
+	// SimWorkers bounds the goroutines MethodEnum's simulation kernel
+	// spreads the pattern-block range across. 0 means
+	// runtime.GOMAXPROCS(0); counts are bit-identical at any setting.
+	SimWorkers int
 	// Progress, when non-nil, receives one event per completed
 	// sub-miter (possibly out of output order under concurrency; calls
 	// are serialized). The callback must not block.
@@ -159,6 +163,7 @@ func (o *Options) engineConfig() engine.Config {
 		DisableLearning: o.DisableLearning,
 		BDDNodeLimit:    o.BDDNodeLimit,
 		Workers:         o.Workers,
+		SimWorkers:      o.SimWorkers,
 	}
 }
 

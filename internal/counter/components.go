@@ -163,6 +163,9 @@ func (s *Solver) solveComponent(comp *component) *big.Int {
 		}
 	}
 	if cnt, ok := s.trySimulate(comp); ok {
+		if cnt == nil { // cancelled mid-simulation
+			return nil
+		}
 		s.cacheStore(key, cnt)
 		return cnt
 	}

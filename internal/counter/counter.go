@@ -212,7 +212,6 @@ type Solver struct {
 	keyBuf  []byte    // serialized key
 
 	// sim hook scratch
-	simVals   []uint64
 	gateSeen  []uint32
 	nodeSeen  []uint32
 	compClSet []uint32 // stamp: clause belongs to current component
@@ -268,7 +267,6 @@ func New(f *cnf.Formula, cfg Config) *Solver {
 	s.clSeen = make([]uint32, len(s.clauses))
 	s.compClSet = make([]uint32, len(s.clauses))
 	if f.Circ != nil {
-		s.simVals = make([]uint64, len(f.Circ.Nodes))
 		s.gateSeen = make([]uint32, len(f.Circ.Nodes))
 		s.nodeSeen = make([]uint32, len(f.Circ.Nodes))
 	}

@@ -84,6 +84,9 @@ func (s *Solver) satComponent(comp *component) (bool, bool) {
 		}
 	}
 	if cnt, ok := s.trySimulate(comp); ok {
+		if cnt == nil { // cancelled mid-simulation
+			return false, false
+		}
 		s.cacheStore(key, cnt)
 		return cnt.Sign() != 0, true
 	}

@@ -1,13 +1,13 @@
 package counter
 
 import (
+	"context"
 	"math/big"
-	"math/bits"
 	"sort"
 	"time"
 
-	"vacsem/internal/circuit"
 	"vacsem/internal/obs"
+	"vacsem/internal/sim"
 )
 
 // trySimulate implements SimulationController(f) + SolveBySimulation(f)
@@ -19,7 +19,9 @@ import (
 // patterns* (Proposition 1) with 64-way bit-parallel simulation.
 //
 // It returns (count, true) when simulation was performed, (nil, false)
-// when the controller chose the DPLL path.
+// when the controller chose the DPLL path, and (nil, true) when the
+// solver was cancelled mid-simulation (s.aborted is set; callers must
+// not cache or use the nil count).
 func (s *Solver) trySimulate(comp *component) (*big.Int, bool) {
 	if !s.cfg.EnableSim || s.f.Circ == nil {
 		return nil, false
@@ -118,11 +120,46 @@ func (s *Solver) trySimulate(comp *component) (*big.Int, bool) {
 		}
 	}
 
-	// 5. Simulate. Gates in ascending node-id order are in topological
-	// order (a circuit invariant checked by Validate at encode time).
+	// 5. Simulate: compile the component to an instruction tape and count
+	// consistent patterns with the shared kernel. Gates in ascending
+	// node-id order are in topological order (a circuit invariant checked
+	// by Validate at encode time). Pinned inputs (decided variables, plus
+	// free-but-irrelevant fanins, which stay at 0) become constant words;
+	// gates whose CNF variable is decided become check instructions on the
+	// program's consistency accumulator.
 	sort.Slice(gates, func(i, j int) bool { return gates[i] < gates[j] })
+	pinned := make([]sim.PinnedInput, len(pinnedInputs))
+	for i, n := range pinnedInputs {
+		pinned[i] = sim.PinnedInput{Node: n, Val: s.assign[s.f.VarOfNode[n]] == 1}
+	}
+	check := func(g int32) int8 {
+		switch s.assign[s.f.VarOfNode[g]] {
+		case 1: // checking gate decided TRUE
+			return 1
+		case 0: // checking gate decided FALSE
+			return -1
+		}
+		return 0
+	}
 	start := time.Now()
-	count := s.simulateComponent(gates, freeInputs, pinnedInputs)
+	prog, err := sim.CompileComponent(circ, gates, freeInputs, pinned, check)
+	if err != nil {
+		// Structure the recovery above should have rejected; fall back to
+		// DPLL rather than guess.
+		return s.rejectSim(false, "compile_failed", len(gates), k, density)
+	}
+	ctx := s.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.stats.SimPatterns += uint64(1) << uint(k)
+	counts, err := prog.CountOnes(ctx, 1)
+	if err != nil {
+		s.aborted = true
+		s.abortErr = err
+		return nil, true
+	}
+	count := counts[0]
 	dur := time.Since(start)
 	hSimSeconds.Observe(dur.Seconds())
 	s.stats.SimCalls++
@@ -133,88 +170,4 @@ func (s *Solver) trySimulate(comp *component) (*big.Int, bool) {
 		})
 	}
 	return new(big.Int).SetUint64(count), true
-}
-
-// simulateComponent enumerates all 2^K patterns of the free inputs in
-// 64-pattern blocks and counts consistent patterns: patterns under which
-// every checking gate's simulated value matches its decided CNF value.
-// Pinned inputs (decided variables, plus free-but-irrelevant fanins) hold
-// constant vectors.
-func (s *Solver) simulateComponent(gates, freeInputs, pinnedInputs []int32) uint64 {
-	circ := s.f.Circ
-	k := len(freeInputs)
-	total := uint64(1) << uint(k)
-	blocks := (total + 63) / 64
-	if blocks == 0 {
-		blocks = 1
-	}
-	s.stats.SimPatterns += total
-
-	// Pinned inputs hold constant vectors across all blocks.
-	for _, n := range pinnedInputs {
-		v := s.f.VarOfNode[n]
-		if s.assign[v] == 1 {
-			s.simVals[n] = ^uint64(0)
-		} else {
-			s.simVals[n] = 0
-		}
-	}
-
-	var args [3]uint64
-	var count uint64
-	for b := uint64(0); b < blocks; b++ {
-		for i, n := range freeInputs {
-			s.simVals[n] = inputWord(i, b)
-		}
-		acc := ^uint64(0)
-		for _, g := range gates {
-			nd := &circ.Nodes[g]
-			var w uint64
-			switch nd.Kind {
-			case circuit.And:
-				w = s.simVals[nd.Fanins[0]] & s.simVals[nd.Fanins[1]]
-			case circuit.Or:
-				w = s.simVals[nd.Fanins[0]] | s.simVals[nd.Fanins[1]]
-			case circuit.Xor:
-				w = s.simVals[nd.Fanins[0]] ^ s.simVals[nd.Fanins[1]]
-			case circuit.Not:
-				w = ^s.simVals[nd.Fanins[0]]
-			default:
-				a := args[:len(nd.Fanins)]
-				for j, f := range nd.Fanins {
-					a[j] = s.simVals[f]
-				}
-				w = nd.Kind.EvalWord(a)
-			}
-			s.simVals[g] = w
-			v := s.f.VarOfNode[g]
-			switch s.assign[v] {
-			case 1: // checking gate decided TRUE
-				acc &= w
-			case 0: // checking gate decided FALSE
-				acc &= ^w
-			}
-		}
-		if rem := total - b*64; rem < 64 {
-			acc &= (uint64(1) << rem) - 1
-		}
-		count += uint64(bits.OnesCount64(acc))
-	}
-	return count
-}
-
-// inputWord mirrors sim.InputWord without importing the package (the
-// counter must stay decoupled from the simulator's public surface).
-func inputWord(i int, block uint64) uint64 {
-	var base = [6]uint64{
-		0xAAAAAAAAAAAAAAAA, 0xCCCCCCCCCCCCCCCC, 0xF0F0F0F0F0F0F0F0,
-		0xFF00FF00FF00FF00, 0xFFFF0000FFFF0000, 0xFFFFFFFF00000000,
-	}
-	if i < 6 {
-		return base[i]
-	}
-	if block>>(uint(i)-6)&1 == 1 {
-		return ^uint64(0)
-	}
-	return 0
 }

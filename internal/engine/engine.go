@@ -63,6 +63,11 @@ type Config struct {
 	// backends that fan out (the counting backends). 0 means
 	// runtime.GOMAXPROCS(0); 1 forces sequential solving.
 	Workers int
+	// SimWorkers bounds the goroutines the enum backend's compiled
+	// simulation kernel spreads the pattern-block range across. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces serial enumeration. Counts are
+	// bit-identical at any setting.
+	SimWorkers int
 }
 
 // Task is one verification job: a deviation miter whose weighted

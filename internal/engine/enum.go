@@ -11,10 +11,11 @@ import (
 
 // enumBackend verifies by exhaustive word-parallel logic simulation of
 // the miter over all 2^I input patterns — the paper's enumeration
-// baseline. One simulation pass produces every output's one-count, so
-// there is no per-sub-miter fan-out; cancellation happens inside the
-// simulator's block loop (sim.CountOnesPerOutputCtx), polled per work
-// chunk sized by gate count.
+// baseline. The miter is compiled once to an instruction tape and the
+// pattern-block range split across Config.SimWorkers goroutines (<= 0:
+// GOMAXPROCS); one pass produces every output's one-count, so there is
+// no per-sub-miter fan-out. Cancellation happens inside the kernel's
+// block loop, polled per work chunk sized by tape length.
 type enumBackend struct{}
 
 func (enumBackend) Name() string { return "enum" }
@@ -34,12 +35,13 @@ func (enumBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) {
 		beSpan = tr.StartSpan(obs.SpanFrom(ctx), "backend", obs.Fields{
 			"backend": "enum", "metric": t.Metric,
 			"subs": m.NumOutputs(), "inputs": m.NumInputs(),
+			"sim_workers": t.Config.SimWorkers,
 		})
 		ctx = obs.WithSpan(ctx, beSpan)
 		defer tr.EndSpan(beSpan, "backend", nil)
 	}
 	start := time.Now()
-	counts, err := sim.CountOnesPerOutputCtx(ctx, m)
+	counts, err := sim.CountOnesPerOutputWorkers(ctx, m, t.Config.SimWorkers)
 	if err != nil {
 		return nil, err
 	}

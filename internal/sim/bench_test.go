@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"context"
+	"math/bits"
+	"runtime"
+	"testing"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/testutil"
+)
+
+// benchCircuit is a fixed 2^20-pattern workload (20 inputs, a few
+// hundred gates) shared by every BenchmarkSimKernel variant so the
+// reported pattern throughputs compare like for like.
+func benchCircuit() *circuit.Circuit {
+	return testutil.RandomCircuit(20, 300, 4, 123)
+}
+
+func reportPatterns(b *testing.B, total uint64) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(total)*float64(b.N)/s/1e6, "Mpat/s")
+	}
+}
+
+// BenchmarkSimKernel compares one full exhaustive enumeration of the
+// bench miter across the three implementations: the reference
+// interpreter (per-gate switch over circuit.Node), the compiled tape
+// run serially, and the compiled tape with the block range spread over
+// all CPUs.
+func BenchmarkSimKernel(b *testing.B) {
+	c := benchCircuit()
+	n := len(c.Inputs)
+	total := uint64(1) << uint(n)
+	blocks := total / 64
+
+	b.Run("interpreter", func(b *testing.B) {
+		e := NewEngine(c)
+		in := make([]uint64, n)
+		counts := make([]uint64, len(c.Outputs))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range counts {
+				counts[j] = 0
+			}
+			for blk := uint64(0); blk < blocks; blk++ {
+				for k := 0; k < n; k++ {
+					in[k] = InputWord(k, blk)
+				}
+				e.Run(in)
+				for j := range counts {
+					counts[j] += uint64(bits.OnesCount64(e.Out(j)))
+				}
+			}
+		}
+		reportPatterns(b, total)
+	})
+
+	b.Run("tape", func(b *testing.B) {
+		p := Compile(c)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.CountOnes(context.Background(), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportPatterns(b, total)
+	})
+
+	b.Run("tape-parallel", func(b *testing.B) {
+		p := Compile(c)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.CountOnes(context.Background(), runtime.GOMAXPROCS(0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportPatterns(b, total)
+	})
+}
+
+// BenchmarkCompile measures the one-time tape lowering cost the kernel
+// pays per circuit (it is amortized over the whole enumeration).
+func BenchmarkCompile(b *testing.B) {
+	c := benchCircuit()
+	for i := 0; i < b.N; i++ {
+		Compile(c)
+	}
+}

@@ -47,20 +47,20 @@ func TestCountOnesPerOutputCtxCancel(t *testing.T) {
 	}
 }
 
-func TestPollChunkBlocks(t *testing.T) {
+func TestChunkBatches(t *testing.T) {
 	cases := []struct {
-		gates int
-		want  uint64
+		tapeLen int
+		want    uint64
 	}{
-		{0, 1024},      // clamp high when the circuit is free to evaluate
-		{1, 1024},      // 2^18 / 1 exceeds the cap
-		{1 << 18, 1},   // huge circuit: poll every block
-		{1 << 30, 1},   // clamp low
-		{1 << 10, 256}, // 2^18 / 2^10
+		{0, 128},      // clamp high when the tape is free to evaluate
+		{1, 128},      // 2^18 / 8 exceeds the cap
+		{1 << 15, 1},  // huge tape: poll every batch
+		{1 << 30, 1},  // clamp low
+		{1 << 10, 32}, // 2^18 / (2^10 * 8)
 	}
 	for _, tc := range cases {
-		if got := pollChunkBlocks(tc.gates); got != tc.want {
-			t.Errorf("pollChunkBlocks(%d) = %d, want %d", tc.gates, got, tc.want)
+		if got := chunkBatches(tc.tapeLen); got != tc.want {
+			t.Errorf("chunkBatches(%d) = %d, want %d", tc.tapeLen, got, tc.want)
 		}
 	}
 }

@@ -1,0 +1,601 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/obs"
+	"vacsem/internal/simword"
+)
+
+// BatchWords is the number of 64-pattern words a compiled program
+// evaluates per instruction dispatch: 8 words = 512 patterns. Batching
+// amortizes the per-instruction dispatch over eight machine words and
+// keeps each slot's working set in one or two cache lines.
+const BatchWords = 8
+
+// Metrics of the compiled kernel. Updated once per CountOnes call (not
+// per block), plus once per compilation, so the always-on cost is a few
+// atomic adds per enumeration.
+var (
+	mKernelPatterns = obs.Default.Counter("sim.kernel_patterns")
+	mKernelBlocks   = obs.Default.Counter("sim.kernel_blocks")
+	hKernelSeconds  = obs.Default.Histogram("sim.kernel_seconds", nil)
+	gKernelWorkers  = obs.Default.Gauge("sim.kernel_workers")
+	mCompiles       = obs.Default.Counter("sim.kernel_compiles")
+	hCompileSeconds = obs.Default.Histogram("sim.kernel_compile_seconds", nil)
+)
+
+// opcode is a dense gate operation of the instruction tape. Inverted
+// forms get their own opcodes so no gate ever needs a second pass, and
+// opAndN/opOnes exist for the counter's consistency accumulator.
+type opcode uint8
+
+const (
+	opBuf  opcode = iota // dst = a
+	opNot                // dst = ^a
+	opAnd                // dst = a & b
+	opNand               // dst = ^(a & b)
+	opOr                 // dst = a | b
+	opNor                // dst = ^(a | b)
+	opXor                // dst = a ^ b
+	opXnor               // dst = ^(a ^ b)
+	opAndN               // dst = a &^ b
+	opMux                // dst = (a & c) | (^a & b); a selects
+	opMaj                // dst = majority(a, b, c)
+	opOnes               // dst = all-ones (accumulator reset)
+)
+
+// instr is one tape entry. Operand fields are word offsets into the
+// value array — slot index pre-multiplied by BatchWords — so evaluation
+// indexes the array directly with no per-instruction multiply.
+type instr struct {
+	op           opcode
+	dst, a, b, c int32
+}
+
+// PinnedInput is a sub-circuit input held at a constant value for every
+// enumerated pattern (the counter pins inputs whose CNF variables are
+// already decided).
+type PinnedInput struct {
+	Node int32
+	Val  bool
+}
+
+// constInit records a slot that holds a constant word; applied once per
+// value-array allocation (slot 0 is implicitly constant zero and never
+// written by any instruction).
+type constInit struct {
+	off int32
+	val uint64
+}
+
+// Program is a circuit (or gate subset) lowered to a flat instruction
+// tape, evaluated over batches of BatchWords words. A Program is
+// immutable after compilation and safe for concurrent evaluation: all
+// mutable state lives in per-call value arrays drawn from an internal
+// pool.
+type Program struct {
+	ins     []instr
+	nSlots  int     // value array length = nSlots * BatchWords
+	inputs  []int32 // word offset of each enumerated input, in order
+	outputs []int32 // word offset of each counted output
+	consts  []constInit
+	pool    sync.Pool
+}
+
+// NumInputs returns the number of enumerated inputs.
+func (p *Program) NumInputs() int { return len(p.inputs) }
+
+// NumOutputs returns the number of counted outputs.
+func (p *Program) NumOutputs() int { return len(p.outputs) }
+
+// Len returns the number of tape instructions (one per compiled gate,
+// plus check instructions for component programs).
+func (p *Program) Len() int { return len(p.ins) }
+
+func (p *Program) finish() {
+	p.pool.New = func() any {
+		v := make([]uint64, p.nSlots*BatchWords)
+		for _, c := range p.consts {
+			dst := v[c.off : c.off+BatchWords]
+			for i := range dst {
+				dst[i] = c.val
+			}
+		}
+		return &v
+	}
+	mCompiles.Add(1)
+}
+
+func (p *Program) getVals() *[]uint64  { return p.pool.Get().(*[]uint64) }
+func (p *Program) putVals(v *[]uint64) { p.pool.Put(v) }
+
+// gateInstr lowers one gate node to a tape entry. off maps node id to
+// the node's word offset, or -1 when the node has no slot.
+func gateInstr(nd *circuit.Node, dst int32, off func(int) int32) (instr, error) {
+	in := instr{dst: dst}
+	switch len(nd.Fanins) {
+	case 1:
+		in.a = off(nd.Fanins[0])
+	case 2:
+		in.a, in.b = off(nd.Fanins[0]), off(nd.Fanins[1])
+	case 3:
+		in.a, in.b, in.c = off(nd.Fanins[0]), off(nd.Fanins[1]), off(nd.Fanins[2])
+	}
+	switch nd.Kind {
+	case circuit.Buf:
+		in.op = opBuf
+	case circuit.Not:
+		in.op = opNot
+	case circuit.And:
+		in.op = opAnd
+	case circuit.Nand:
+		in.op = opNand
+	case circuit.Or:
+		in.op = opOr
+	case circuit.Nor:
+		in.op = opNor
+	case circuit.Xor:
+		in.op = opXor
+	case circuit.Xnor:
+		in.op = opXnor
+	case circuit.Mux:
+		in.op = opMux
+	case circuit.Maj:
+		in.op = opMaj
+	default:
+		return instr{}, fmt.Errorf("sim: cannot compile %v gate", nd.Kind)
+	}
+	return in, nil
+}
+
+// Compile lowers a full circuit to a Program. Slot assignment is the
+// identity (slot == node id), so callers can read any node's words back
+// from the value array; the primary outputs become the program outputs
+// and the primary inputs, in circuit order, the enumerated inputs.
+func Compile(c *circuit.Circuit) *Program {
+	start := time.Now()
+	p := &Program{nSlots: len(c.Nodes)}
+	off := func(id int) int32 { return int32(id) * BatchWords }
+	p.ins = make([]instr, 0, c.NumGates())
+	for id := 1; id < len(c.Nodes); id++ {
+		nd := &c.Nodes[id]
+		if nd.Kind == circuit.Input || nd.Kind == circuit.Const0 {
+			continue
+		}
+		in, err := gateInstr(nd, off(id), off)
+		if err != nil {
+			panic(err) // unreachable: Kind set covered above
+		}
+		p.ins = append(p.ins, in)
+	}
+	p.inputs = make([]int32, len(c.Inputs))
+	for i, id := range c.Inputs {
+		p.inputs[i] = off(id)
+	}
+	p.outputs = make([]int32, len(c.Outputs))
+	for j, id := range c.Outputs {
+		p.outputs[j] = off(id)
+	}
+	p.finish()
+	hCompileSeconds.Observe(time.Since(start).Seconds())
+	return p
+}
+
+// CompileComponent lowers a gate subset to a Program whose single
+// output counts consistent patterns: gates must be in topological
+// (ascending id) order, freeInputs are enumerated in the given order,
+// pinned inputs hold constant words, and check(g) returns +1 when gate
+// g's value is required to be 1, -1 when required to be 0, and 0 for an
+// unconstrained gate. The accumulator starts all-ones per batch and is
+// ANDed with each checking gate's (possibly negated) word, so the one-
+// count of the output is exactly the number of consistent patterns.
+//
+// Slots are compacted to the referenced nodes only, so the value array
+// is sized by the component, not the host circuit.
+func CompileComponent(c *circuit.Circuit, gates []int32, freeInputs []int32, pinned []PinnedInput, check func(int32) int8) (*Program, error) {
+	start := time.Now()
+	p := &Program{}
+	// Slot 0 is constant zero; slot 1 the accumulator.
+	const accSlot = 1
+	nSlots := 2
+	slots := make(map[int32]int32, len(gates)+len(freeInputs)+len(pinned))
+	alloc := func(n int32) int32 {
+		s, ok := slots[n]
+		if !ok {
+			s = int32(nSlots)
+			nSlots++
+			slots[n] = s
+		}
+		return s
+	}
+	p.inputs = make([]int32, len(freeInputs))
+	for i, n := range freeInputs {
+		p.inputs[i] = alloc(n) * BatchWords
+	}
+	var onesSlot int32 = -1
+	for _, pi := range pinned {
+		if !pi.Val {
+			slots[pi.Node] = 0 // constant-zero slot
+			continue
+		}
+		if onesSlot < 0 {
+			onesSlot = int32(nSlots)
+			nSlots++
+			p.consts = append(p.consts, constInit{off: onesSlot * BatchWords, val: ^uint64(0)})
+		}
+		slots[pi.Node] = onesSlot
+	}
+	accOff := int32(accSlot) * BatchWords
+	p.ins = make([]instr, 0, len(gates)+4)
+	p.ins = append(p.ins, instr{op: opOnes, dst: accOff})
+	off := func(id int) int32 {
+		s, ok := slots[int32(id)]
+		if !ok {
+			// A fanin that is neither a mapped gate, a free input, nor a
+			// pinned input: the component recovery missed it.
+			return -1
+		}
+		return s * BatchWords
+	}
+	for _, g := range gates {
+		nd := &c.Nodes[g]
+		for _, fn := range nd.Fanins {
+			if _, ok := slots[int32(fn)]; !ok && c.Nodes[fn].Kind != circuit.Const0 {
+				return nil, fmt.Errorf("sim: component gate %d has unmapped fanin %d", g, fn)
+			}
+			if c.Nodes[fn].Kind == circuit.Const0 {
+				slots[int32(fn)] = 0
+			}
+		}
+		dst := alloc(g) * BatchWords
+		in, err := gateInstr(nd, dst, off)
+		if err != nil {
+			return nil, err
+		}
+		p.ins = append(p.ins, in)
+		switch check(g) {
+		case 1: // gate decided TRUE: keep patterns where it is 1
+			p.ins = append(p.ins, instr{op: opAnd, dst: accOff, a: accOff, b: dst})
+		case -1: // decided FALSE: keep patterns where it is 0
+			p.ins = append(p.ins, instr{op: opAndN, dst: accOff, a: accOff, b: dst})
+		}
+	}
+	p.outputs = []int32{accOff}
+	p.nSlots = nSlots
+	p.finish()
+	hCompileSeconds.Observe(time.Since(start).Seconds())
+	return p, nil
+}
+
+// evalBatch runs the tape over all BatchWords words of the value array.
+// The fixed-size array-pointer conversions eliminate bounds checks in
+// the inner loops.
+func (p *Program) evalBatch(v []uint64) {
+	for i := range p.ins {
+		ins := &p.ins[i]
+		d := (*[BatchWords]uint64)(v[ins.dst:])
+		a := (*[BatchWords]uint64)(v[ins.a:])
+		switch ins.op {
+		case opBuf:
+			*d = *a
+		case opNot:
+			for w := 0; w < BatchWords; w++ {
+				d[w] = ^a[w]
+			}
+		case opAnd:
+			b := (*[BatchWords]uint64)(v[ins.b:])
+			for w := 0; w < BatchWords; w++ {
+				d[w] = a[w] & b[w]
+			}
+		case opNand:
+			b := (*[BatchWords]uint64)(v[ins.b:])
+			for w := 0; w < BatchWords; w++ {
+				d[w] = ^(a[w] & b[w])
+			}
+		case opOr:
+			b := (*[BatchWords]uint64)(v[ins.b:])
+			for w := 0; w < BatchWords; w++ {
+				d[w] = a[w] | b[w]
+			}
+		case opNor:
+			b := (*[BatchWords]uint64)(v[ins.b:])
+			for w := 0; w < BatchWords; w++ {
+				d[w] = ^(a[w] | b[w])
+			}
+		case opXor:
+			b := (*[BatchWords]uint64)(v[ins.b:])
+			for w := 0; w < BatchWords; w++ {
+				d[w] = a[w] ^ b[w]
+			}
+		case opXnor:
+			b := (*[BatchWords]uint64)(v[ins.b:])
+			for w := 0; w < BatchWords; w++ {
+				d[w] = ^(a[w] ^ b[w])
+			}
+		case opAndN:
+			b := (*[BatchWords]uint64)(v[ins.b:])
+			for w := 0; w < BatchWords; w++ {
+				d[w] = a[w] &^ b[w]
+			}
+		case opMux:
+			b := (*[BatchWords]uint64)(v[ins.b:])
+			cc := (*[BatchWords]uint64)(v[ins.c:])
+			for w := 0; w < BatchWords; w++ {
+				d[w] = (a[w] & cc[w]) | (^a[w] & b[w])
+			}
+		case opMaj:
+			b := (*[BatchWords]uint64)(v[ins.b:])
+			cc := (*[BatchWords]uint64)(v[ins.c:])
+			for w := 0; w < BatchWords; w++ {
+				d[w] = (a[w] & b[w]) | (a[w] & cc[w]) | (b[w] & cc[w])
+			}
+		case opOnes:
+			for w := 0; w < BatchWords; w++ {
+				d[w] = ^uint64(0)
+			}
+		}
+	}
+}
+
+// eval1 runs the tape over a single word index w of the value array;
+// used when fewer than BatchWords blocks exist.
+func (p *Program) eval1(v []uint64, w int32) {
+	for i := range p.ins {
+		ins := &p.ins[i]
+		switch ins.op {
+		case opBuf:
+			v[ins.dst+w] = v[ins.a+w]
+		case opNot:
+			v[ins.dst+w] = ^v[ins.a+w]
+		case opAnd:
+			v[ins.dst+w] = v[ins.a+w] & v[ins.b+w]
+		case opNand:
+			v[ins.dst+w] = ^(v[ins.a+w] & v[ins.b+w])
+		case opOr:
+			v[ins.dst+w] = v[ins.a+w] | v[ins.b+w]
+		case opNor:
+			v[ins.dst+w] = ^(v[ins.a+w] | v[ins.b+w])
+		case opXor:
+			v[ins.dst+w] = v[ins.a+w] ^ v[ins.b+w]
+		case opXnor:
+			v[ins.dst+w] = ^(v[ins.a+w] ^ v[ins.b+w])
+		case opAndN:
+			v[ins.dst+w] = v[ins.a+w] &^ v[ins.b+w]
+		case opMux:
+			s := v[ins.a+w]
+			v[ins.dst+w] = (s & v[ins.c+w]) | (^s & v[ins.b+w])
+		case opMaj:
+			a, b, c := v[ins.a+w], v[ins.b+w], v[ins.c+w]
+			v[ins.dst+w] = (a & b) | (a & c) | (b & c)
+		case opOnes:
+			v[ins.dst+w] = ^uint64(0)
+		}
+	}
+}
+
+// fillEnumBatch writes the enumeration input words for the BatchWords
+// consecutive blocks starting at block b0 (b0 is BatchWords-aligned).
+// Inputs 0-5 are constant per block; inputs >= 9 are constant across an
+// aligned batch of 8 blocks; only inputs 6-8 vary word by word.
+func (p *Program) fillEnumBatch(v []uint64, b0 uint64) {
+	for i, o := range p.inputs {
+		dst := (*[BatchWords]uint64)(v[o:])
+		switch {
+		case i < 6:
+			w := simword.BasePatterns[i]
+			for j := range dst {
+				dst[j] = w
+			}
+		case i >= 9:
+			w := simword.InputWord(i, b0)
+			for j := range dst {
+				dst[j] = w
+			}
+		default:
+			for j := range dst {
+				dst[j] = simword.InputWord(i, b0+uint64(j))
+			}
+		}
+	}
+}
+
+// chunkBatches sizes the unit of work a worker claims at a time (and
+// the cancellation-poll interval) by tape length: roughly a constant
+// number of gate evaluations per chunk, so heavy miters poll every few
+// batches while trivial circuits don't pay per-batch synchronization.
+func chunkBatches(tapeLen int) uint64 {
+	const targetGateEvals = 1 << 18
+	if tapeLen < 1 {
+		tapeLen = 1
+	}
+	chunk := uint64(targetGateEvals / (tapeLen * BatchWords))
+	if chunk == 0 {
+		return 1
+	}
+	if chunk > 128 {
+		return 128
+	}
+	return chunk
+}
+
+// CountOnes exhaustively enumerates all 2^NumInputs patterns and
+// returns, per output, the number of patterns under which that output
+// is 1. workers bounds the block-range parallelism: <= 0 means
+// GOMAXPROCS. Per-output counts are merged by uint64 addition, so the
+// result is bit-identical at any worker count. Cancellation is
+// cooperative with one ctx poll per claimed chunk.
+func (p *Program) CountOnes(ctx context.Context, workers int) ([]uint64, error) {
+	n := len(p.inputs)
+	if n > 62 {
+		panic("sim: exhaustive enumeration beyond 62 inputs")
+	}
+	start := time.Now()
+	total := uint64(1) << uint(n)
+	blocks := (total + 63) / 64
+	if blocks == 0 {
+		blocks = 1
+	}
+	counts, err := p.countBlocks(ctx, workers, blocks, total)
+	if err != nil {
+		return nil, err
+	}
+	mKernelPatterns.Add(total)
+	mKernelBlocks.Add(blocks)
+	hKernelSeconds.Observe(time.Since(start).Seconds())
+	return counts, nil
+}
+
+func (p *Program) countBlocks(ctx context.Context, workers int, blocks, total uint64) ([]uint64, error) {
+	counts := make([]uint64, len(p.outputs))
+	// Small case: under one batch of blocks, run word-at-a-time on one
+	// pooled array. The only place a partial-block mask can be needed
+	// (total < 64 means blocks == 1).
+	if blocks < BatchWords {
+		vp := p.getVals()
+		defer p.putVals(vp)
+		v := *vp
+		for b := uint64(0); b < blocks; b++ {
+			for i, o := range p.inputs {
+				v[o] = simword.InputWord(i, b)
+			}
+			p.eval1(v, 0)
+			mask := simword.BlockMask(b, total)
+			for j, o := range p.outputs {
+				counts[j] += uint64(bits.OnesCount64(v[o] & mask))
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return counts, nil
+	}
+
+	// blocks is a power of two >= BatchWords here, so it divides into
+	// whole batches and every block is full (total is a multiple of 64).
+	numBatches := blocks / BatchWords
+	chunk := chunkBatches(len(p.ins))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := numBatches / chunk; max > 0 && uint64(workers) > max {
+		workers = int(max)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	gKernelWorkers.SetMax(int64(workers))
+
+	var cursor atomic.Uint64
+	var mu sync.Mutex
+	var firstErr error
+	poll := ctx.Done() != nil
+	run := func() {
+		vp := p.getVals()
+		defer p.putVals(vp)
+		v := *vp
+		local := make([]uint64, len(p.outputs))
+		for {
+			end := cursor.Add(chunk)
+			batch := end - chunk
+			if batch >= numBatches {
+				break
+			}
+			if poll {
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					break
+				}
+			}
+			if end > numBatches {
+				end = numBatches
+			}
+			for ; batch < end; batch++ {
+				p.fillEnumBatch(v, batch*BatchWords)
+				p.evalBatch(v)
+				for j, o := range p.outputs {
+					out := (*[BatchWords]uint64)(v[o:])
+					ones := 0
+					for w := 0; w < BatchWords; w++ {
+						ones += bits.OnesCount64(out[w])
+					}
+					local[j] += uint64(ones)
+				}
+			}
+		}
+		mu.Lock()
+		for j := range counts {
+			counts[j] += local[j]
+		}
+		mu.Unlock()
+	}
+
+	if workers == 1 {
+		run()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return counts, nil
+}
+
+// runVectors streams precomputed input vectors (vectors[i][w] is input
+// i's word w) through the tape in BatchWords-wide batches, invoking
+// gather(v, w0, n) after each batch with the value array, the base word
+// index, and the number of valid words n (n < BatchWords only on the
+// final partial batch). One ctx poll happens per chunk of batches.
+func (p *Program) runVectors(ctx context.Context, vectors [][]uint64, words int, gather func(v []uint64, w0, n int)) error {
+	if len(vectors) != len(p.inputs) {
+		panic(fmt.Sprintf("sim: runVectors got %d input rows, want %d", len(vectors), len(p.inputs)))
+	}
+	vp := p.getVals()
+	defer p.putVals(vp)
+	v := *vp
+	chunk := int(chunkBatches(len(p.ins)))
+	poll := ctx.Done() != nil
+	for w0, batch := 0, 0; w0 < words; w0, batch = w0+BatchWords, batch+1 {
+		if poll && batch%chunk == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		n := words - w0
+		if n > BatchWords {
+			n = BatchWords
+		}
+		for i, o := range p.inputs {
+			row := vectors[i][w0 : w0+n]
+			copy(v[o:o+int32(n)], row)
+		}
+		if n == BatchWords {
+			p.evalBatch(v)
+		} else {
+			for w := 0; w < n; w++ {
+				p.eval1(v, int32(w))
+			}
+		}
+		gather(v, w0, n)
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/testutil"
+)
+
+// TestProgramMatchesEngineAllNodes is the tape's core property: compiled
+// evaluation produces the same word as the reference interpreter for
+// every node of random circuits, on every word of a multi-batch run
+// (including the partial final batch).
+func TestProgramMatchesEngineAllNodes(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		nIn := 1 + int(seed%10)
+		c := testutil.RandomCircuit(nIn, 5+int(seed*7%40), 2+int(seed%3), seed)
+		rng := rand.New(rand.NewSource(seed + 1000))
+		words := 1 + int(seed%(2*BatchWords+3)) // exercises full and partial batches
+		vectors := RandomVectors(nIn, words, rng)
+
+		sigs, err := RunAllNodesCtx(context.Background(), c, vectors, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngine(c)
+		in := make([]uint64, nIn)
+		for w := 0; w < words; w++ {
+			for i := range in {
+				in[i] = vectors[i][w]
+			}
+			e.Run(in)
+			for id := range c.Nodes {
+				if sigs[id][w] != e.Val(id) {
+					t.Fatalf("seed %d: node %d word %d: tape %#x, interpreter %#x",
+						seed, id, w, sigs[id][w], e.Val(id))
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCountsBitIdentical pins the merge determinism claim:
+// per-output exhaustive counts are the same for 1, 2, and GOMAXPROCS
+// workers (uint64 addition is associative and commutative, so chunk
+// order cannot matter). Run under -race this also exercises the worker
+// pool for data races even on a single-CPU machine.
+func TestParallelCountsBitIdentical(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		nIn := 14 + int(seed%4) // 2^14..2^17 patterns: hundreds of batches
+		c := testutil.RandomCircuit(nIn, 60+int(seed*11%80), 3, seed)
+		serial, err := CountOnesPerOutputWorkers(context.Background(), c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, runtime.GOMAXPROCS(0), 0} {
+			got, err := CountOnesPerOutputWorkers(context.Background(), c, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range serial {
+				if got[j] != serial[j] {
+					t.Fatalf("seed %d workers %d output %d: %d != serial %d",
+						seed, workers, j, got[j], serial[j])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCountsMatchBrute cross-checks the parallel kernel against
+// per-pattern brute force, closing the loop from tape + merge all the
+// way to ground truth.
+func TestParallelCountsMatchBrute(t *testing.T) {
+	c := testutil.RandomCircuit(13, 70, 3, 42)
+	want := testutil.CountOnesBrute(c)
+	got, err := CountOnesPerOutputWorkers(context.Background(), c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("output %d: %d, want %d", j, got[j], want[j])
+		}
+	}
+}
+
+// TestCompileComponentCounts checks the component program's consistency
+// accumulator against brute-force enumeration: free inputs enumerate,
+// pinned inputs hold constants, and checking gates constrain the
+// surviving patterns.
+func TestCompileComponentCounts(t *testing.T) {
+	// y0 = (a & b) ^ p, y1 = ~(b | p) with p pinned; check y0 == 1.
+	c := circuit.New("comp")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	p := c.AddInput("p")
+	g1 := c.AddGate(circuit.And, a, b)
+	g2 := c.AddGate(circuit.Xor, g1, p)
+	g3 := c.AddGate(circuit.Nor, b, p)
+	c.AddOutput(g2, "y0")
+	c.AddOutput(g3, "y1")
+
+	for _, pinVal := range []bool{false, true} {
+		gates := []int32{int32(g1), int32(g2), int32(g3)}
+		free := []int32{int32(a), int32(b)}
+		pinned := []PinnedInput{{Node: int32(p), Val: pinVal}}
+		check := func(g int32) int8 {
+			if g == int32(g2) {
+				return 1 // require y0 == 1
+			}
+			if g == int32(g3) {
+				return -1 // require y1 == 0
+			}
+			return 0
+		}
+		prog, err := CompileComponent(c, gates, free, pinned, check)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, err := prog.CountOnes(context.Background(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force over (a, b).
+		want := uint64(0)
+		for pat := 0; pat < 4; pat++ {
+			av, bv := pat&1 == 1, pat&2 == 2
+			y0 := (av && bv) != pinVal
+			y1 := !(bv || pinVal)
+			if y0 && !y1 {
+				want++
+			}
+		}
+		if counts[0] != want {
+			t.Errorf("pin=%v: count = %d, want %d", pinVal, counts[0], want)
+		}
+	}
+}
+
+// TestComponentProgramNoChecksCountsAll compiles every gate of a random
+// circuit as a component with no checks and no pins: the accumulator
+// stays all-ones, so the count must be exactly 2^K.
+func TestComponentProgramNoChecksCountsAll(t *testing.T) {
+	c := testutil.RandomCircuit(9, 40, 2, 7)
+	var gates []int32
+	for id := 1; id < len(c.Nodes); id++ {
+		if c.Nodes[id].Kind.IsGate() {
+			gates = append(gates, int32(id))
+		}
+	}
+	free := make([]int32, len(c.Inputs))
+	for i, id := range c.Inputs {
+		free[i] = int32(id)
+	}
+	prog, err := CompileComponent(c, gates, free, nil, func(int32) int8 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := prog.CountOnes(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(1) << 9; counts[0] != want {
+		t.Errorf("count = %d, want %d", counts[0], want)
+	}
+}
+
+// TestRunHelpersCancel pins that the vector-streaming helpers honor an
+// already-cancelled context.
+func TestRunHelpersCancel(t *testing.T) {
+	c := testutil.RandomCircuit(8, 30, 2, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	vectors := RandomVectors(8, 64, rand.New(rand.NewSource(1)))
+	if _, err := RunManyCtx(ctx, c, vectors, 64); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunManyCtx err = %v, want Canceled", err)
+	}
+	if _, err := RunAllNodesCtx(ctx, c, vectors, 64); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunAllNodesCtx err = %v, want Canceled", err)
+	}
+	if _, err := SignalProbabilitiesCtx(ctx, c, 64, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("SignalProbabilitiesCtx err = %v, want Canceled", err)
+	}
+	if _, err := CountOnesPerOutputWorkers(ctx, c, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("CountOnesPerOutputWorkers err = %v, want Canceled", err)
+	}
+}
+
+// TestSignalProbabilitiesSeedStable pins that the kernel rewrite kept
+// the random stream order (word-major, input-minor): same seed, same
+// estimates as the helper always produced.
+func TestSignalProbabilitiesSeedStable(t *testing.T) {
+	c := testutil.RandomCircuit(5, 20, 2, 17)
+	// Reference: interpreter loop drawing rng in the documented order.
+	rng := rand.New(rand.NewSource(99))
+	e := NewEngine(c)
+	ones := make([]uint64, len(c.Nodes))
+	in := make([]uint64, 5)
+	const words = 32
+	for w := 0; w < words; w++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		e.Run(in)
+		for id := range ones {
+			ones[id] += uint64(popcount(e.Val(id)))
+		}
+	}
+	got := SignalProbabilities(c, words, 99)
+	for id := range ones {
+		want := float64(ones[id]) / float64(words*64)
+		if got[id] != want {
+			t.Fatalf("node %d: prob %v, want %v", id, got[id], want)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,8 +1,10 @@
 // Package sim implements the word-parallel logic simulator that VACSEM
 // embeds in its #SAT solver and uses as the exhaustive-enumeration
-// baseline. Sixty-four input patterns are evaluated per machine word; the
-// simulator streams pattern blocks so memory stays O(#nodes) regardless of
-// the input-space size.
+// baseline. Sixty-four input patterns are evaluated per machine word; a
+// circuit is compiled once into a flat instruction tape (Program) that
+// streams batches of BatchWords words, and exhaustive enumeration
+// splits the pattern-block range across a bounded worker pool. Memory
+// stays O(#nodes) per worker regardless of the input-space size.
 package sim
 
 import (
@@ -14,44 +16,31 @@ import (
 
 	"vacsem/internal/circuit"
 	"vacsem/internal/obs"
+	"vacsem/internal/simword"
 )
 
 // Metrics of the exhaustive-enumeration path. Updates happen once per
-// batch (one CountOnesPerOutputCtx call), not per block, so the
-// always-on cost is a few atomic adds per enumeration.
+// enumeration (one CountOnesPerOutputWorkers call), not per block, so
+// the always-on cost is a few atomic adds per enumeration.
 var (
 	mEnumPatterns = obs.Default.Counter("sim.enum_patterns")
 	mEnumBlocks   = obs.Default.Counter("sim.enum_blocks")
 	hEnumSeconds  = obs.Default.Histogram("sim.enum_batch_seconds", nil)
 )
 
-// basePatterns[i] is the canonical simulation word of input i for the 64
-// patterns inside one block: bit p of basePatterns[i] equals bit i of the
-// pattern index p.
-var basePatterns = [6]uint64{
-	0xAAAAAAAAAAAAAAAA,
-	0xCCCCCCCCCCCCCCCC,
-	0xF0F0F0F0F0F0F0F0,
-	0xFF00FF00FF00FF00,
-	0xFFFF0000FFFF0000,
-	0xFFFFFFFF00000000,
-}
-
 // InputWord returns the simulation word of input i (0-based) for pattern
 // block `block`, under exhaustive enumeration: pattern index p (global) has
 // input i equal to bit i of p.
-func InputWord(i int, block uint64) uint64 {
-	if i < 6 {
-		return basePatterns[i]
-	}
-	if block>>(uint(i)-6)&1 == 1 {
-		return ^uint64(0)
-	}
-	return 0
-}
+func InputWord(i int, block uint64) uint64 { return simword.InputWord(i, block) }
 
-// Engine evaluates a fixed circuit on blocks of 64 patterns. The zero
-// value is not usable; create engines with NewEngine.
+// BlockMask returns the mask of valid pattern bits in block `block` when
+// only `total` patterns exist overall (total > block*64).
+func BlockMask(block, total uint64) uint64 { return simword.BlockMask(block, total) }
+
+// Engine evaluates a fixed circuit on blocks of 64 patterns by walking
+// the node array directly. It is the reference interpreter the compiled
+// Program is tested (and benchmarked) against; hot paths use Compile
+// instead. The zero value is not usable; create engines with NewEngine.
 type Engine struct {
 	c    *circuit.Circuit
 	vals []uint64 // one word per node
@@ -105,16 +94,6 @@ func (e *Engine) Val(node int) uint64 { return e.vals[node] }
 // Out returns the last simulation word of the i-th primary output.
 func (e *Engine) Out(i int) uint64 { return e.vals[e.c.Outputs[i]] }
 
-// BlockMask returns the mask of valid pattern bits in block `block` when
-// only `total` patterns exist overall (total > block*64).
-func BlockMask(block, total uint64) uint64 {
-	rem := total - block*64
-	if rem >= 64 {
-		return ^uint64(0)
-	}
-	return (uint64(1) << rem) - 1
-}
-
 // CountOnesExhaustive counts, for the single-output circuit c, the number
 // of input patterns (all 2^I of them) for which the output is 1. It panics
 // when the circuit has more than 62 inputs (the count would not fit the
@@ -137,32 +116,20 @@ func CountOnesPerOutput(c *circuit.Circuit) []uint64 {
 	return counts
 }
 
-// pollChunkBlocks sizes the cancellation-poll interval of the exhaustive
-// enumeration loop by gate count: roughly one context check per
-// targetGateEvals gate evaluations, so heavy miters poll every few
-// blocks while trivial circuits don't pay per-block poll overhead.
-// The previous fixed 1024-block interval could overshoot a deadline by
-// seconds on slow (many-gate) miters.
-func pollChunkBlocks(numGates int) uint64 {
-	const targetGateEvals = 1 << 18
-	if numGates < 1 {
-		numGates = 1
-	}
-	chunk := uint64(targetGateEvals / numGates)
-	if chunk == 0 {
-		return 1
-	}
-	if chunk > 1024 {
-		return 1024
-	}
-	return chunk
+// CountOnesPerOutputCtx is CountOnesPerOutput with cooperative
+// cancellation, running single-threaded. See CountOnesPerOutputWorkers.
+func CountOnesPerOutputCtx(ctx context.Context, c *circuit.Circuit) ([]uint64, error) {
+	return CountOnesPerOutputWorkers(ctx, c, 1)
 }
 
-// CountOnesPerOutputCtx is CountOnesPerOutput with cooperative
-// cancellation: the block loop polls ctx.Err() once per work chunk,
-// where a chunk is sized so that roughly a constant number of gate
-// evaluations happens between polls regardless of circuit size.
-func CountOnesPerOutputCtx(ctx context.Context, c *circuit.Circuit) ([]uint64, error) {
+// CountOnesPerOutputWorkers exhaustively counts, for every primary
+// output, the number of input patterns under which that output is 1,
+// compiling the circuit once and splitting the pattern-block range
+// across up to `workers` goroutines (<= 0 means GOMAXPROCS). Per-output
+// tallies are merged by addition, so the result is bit-identical to the
+// serial walk at any worker count. The block loop polls ctx once per
+// claimed work chunk.
+func CountOnesPerOutputWorkers(ctx context.Context, c *circuit.Circuit, workers int) ([]uint64, error) {
 	n := len(c.Inputs)
 	if n > 62 {
 		panic("sim: exhaustive enumeration beyond 62 inputs")
@@ -172,28 +139,11 @@ func CountOnesPerOutputCtx(ctx context.Context, c *circuit.Circuit) ([]uint64, e
 	if blocks == 0 {
 		blocks = 1
 	}
-	poll := uint64(0)
-	if ctx.Done() != nil {
-		poll = pollChunkBlocks(c.NumGates())
-	}
-	e := NewEngine(c)
-	in := make([]uint64, n)
-	counts := make([]uint64, len(c.Outputs))
 	start := time.Now()
-	for b := uint64(0); b < blocks; b++ {
-		if poll != 0 && b%poll == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		for i := 0; i < n; i++ {
-			in[i] = InputWord(i, b)
-		}
-		e.Run(in)
-		mask := BlockMask(b, total)
-		for j := range counts {
-			counts[j] += uint64(bits.OnesCount64(e.Out(j) & mask))
-		}
+	p := Compile(c)
+	counts, err := p.CountOnes(ctx, workers)
+	if err != nil {
+		return nil, err
 	}
 	dur := time.Since(start)
 	mEnumPatterns.Add(total)
@@ -202,7 +152,8 @@ func CountOnesPerOutputCtx(ctx context.Context, c *circuit.Circuit) ([]uint64, e
 	if tr := obs.Active(); tr != nil {
 		tr.Event(obs.SpanFrom(ctx), "sim_batch", obs.Fields{
 			"patterns": total, "blocks": blocks, "gates": c.NumGates(),
-			"outputs": len(c.Outputs), "sim_us": dur.Microseconds(),
+			"outputs": len(c.Outputs), "workers": workers,
+			"sim_us": dur.Microseconds(),
 		})
 	}
 	return counts, nil
@@ -226,22 +177,31 @@ func RandomVectors(nInputs, words int, rng *rand.Rand) [][]uint64 {
 // vectors (vectors[i][w] is input i's word w) and returns the output
 // vectors indexed [output][word].
 func RunMany(c *circuit.Circuit, vectors [][]uint64, words int) [][]uint64 {
-	e := NewEngine(c)
+	out, err := RunManyCtx(context.Background(), c, vectors, words)
+	if err != nil { // unreachable: Background is never cancelled
+		panic(err)
+	}
+	return out
+}
+
+// RunManyCtx is RunMany with cooperative cancellation: the word loop
+// runs through the compiled kernel's chunked batches and polls ctx
+// between chunks.
+func RunManyCtx(ctx context.Context, c *circuit.Circuit, vectors [][]uint64, words int) ([][]uint64, error) {
+	p := Compile(c)
 	out := make([][]uint64, len(c.Outputs))
 	for j := range out {
 		out[j] = make([]uint64, words)
 	}
-	in := make([]uint64, len(c.Inputs))
-	for w := 0; w < words; w++ {
-		for i := range in {
-			in[i] = vectors[i][w]
+	err := p.runVectors(ctx, vectors, words, func(v []uint64, w0, n int) {
+		for j, o := range p.outputs {
+			copy(out[j][w0:w0+n], v[o:o+int32(n)])
 		}
-		e.Run(in)
-		for j := range out {
-			out[j][w] = e.Out(j)
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // RunAllNodes evaluates the circuit on `words` blocks of precomputed
@@ -250,44 +210,76 @@ func RunMany(c *circuit.Circuit, vectors [][]uint64, words int) [][]uint64 {
 // approximate synthesis: two nodes with close signatures are candidates
 // for substitution.
 func RunAllNodes(c *circuit.Circuit, vectors [][]uint64, words int) [][]uint64 {
-	e := NewEngine(c)
+	sigs, err := RunAllNodesCtx(context.Background(), c, vectors, words)
+	if err != nil { // unreachable: Background is never cancelled
+		panic(err)
+	}
+	return sigs
+}
+
+// RunAllNodesCtx is RunAllNodes with cooperative cancellation. Full-
+// circuit programs assign slot i to node i, so the per-node signatures
+// are gathered straight out of the kernel's value array.
+func RunAllNodesCtx(ctx context.Context, c *circuit.Circuit, vectors [][]uint64, words int) ([][]uint64, error) {
+	p := Compile(c)
 	sigs := make([][]uint64, len(c.Nodes))
 	for id := range sigs {
 		sigs[id] = make([]uint64, words)
 	}
-	in := make([]uint64, len(c.Inputs))
-	for w := 0; w < words; w++ {
-		for i := range in {
-			in[i] = vectors[i][w]
-		}
-		e.Run(in)
+	err := p.runVectors(ctx, vectors, words, func(v []uint64, w0, n int) {
 		for id := range sigs {
-			sigs[id][w] = e.vals[id]
+			o := int32(id) * BatchWords
+			copy(sigs[id][w0:w0+n], v[o:o+int32(n)])
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return sigs
+	return sigs, nil
 }
 
 // SignalProbabilities estimates the probability of each node being 1 under
 // uniformly random inputs, using `words` blocks of 64 random patterns.
 func SignalProbabilities(c *circuit.Circuit, words int, seed int64) []float64 {
+	prob, err := SignalProbabilitiesCtx(context.Background(), c, words, seed)
+	if err != nil { // unreachable: Background is never cancelled
+		panic(err)
+	}
+	return prob
+}
+
+// SignalProbabilitiesCtx is SignalProbabilities with cooperative
+// cancellation. The random stream is drawn word-major then input-minor
+// — the order the pre-kernel implementation used — so estimates for a
+// given seed are unchanged.
+func SignalProbabilitiesCtx(ctx context.Context, c *circuit.Circuit, words int, seed int64) ([]float64, error) {
 	rng := rand.New(rand.NewSource(seed))
-	e := NewEngine(c)
-	ones := make([]uint64, len(c.Nodes))
-	in := make([]uint64, len(c.Inputs))
+	vectors := make([][]uint64, len(c.Inputs))
+	for i := range vectors {
+		vectors[i] = make([]uint64, words)
+	}
 	for w := 0; w < words; w++ {
-		for i := range in {
-			in[i] = rng.Uint64()
+		for i := range vectors {
+			vectors[i][w] = rng.Uint64()
 		}
-		e.Run(in)
+	}
+	p := Compile(c)
+	ones := make([]uint64, len(c.Nodes))
+	err := p.runVectors(ctx, vectors, words, func(v []uint64, w0, n int) {
 		for id := range ones {
-			ones[id] += uint64(bits.OnesCount64(e.vals[id]))
+			o := int32(id) * BatchWords
+			for w := int32(0); w < int32(n); w++ {
+				ones[id] += uint64(bits.OnesCount64(v[o+w]))
+			}
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	prob := make([]float64, len(c.Nodes))
 	totalPatterns := float64(words * 64)
 	for id := range prob {
 		prob[id] = float64(ones[id]) / totalPatterns
 	}
-	return prob
+	return prob, nil
 }

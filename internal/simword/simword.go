@@ -1,0 +1,43 @@
+// Package simword holds the pattern-word primitives shared by the
+// word-parallel simulator and the #SAT counter's simulation hook: the
+// canonical per-input simulation words for exhaustive enumeration and
+// the tail mask of a partial block. Both packages used to carry private
+// copies of these tables; keeping them here pins the two bit-exact.
+package simword
+
+// BasePatterns[i] is the canonical simulation word of input i for the 64
+// patterns inside one block: bit p of BasePatterns[i] equals bit i of
+// the pattern index p.
+var BasePatterns = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// InputWord returns the simulation word of input i (0-based) for pattern
+// block `block`, under exhaustive enumeration: pattern index p (global)
+// has input i equal to bit i of p. Inputs 0-5 vary within a block;
+// input i >= 6 is constant per block, equal to bit i-6 of the block
+// index.
+func InputWord(i int, block uint64) uint64 {
+	if i < 6 {
+		return BasePatterns[i]
+	}
+	if block>>(uint(i)-6)&1 == 1 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// BlockMask returns the mask of valid pattern bits in block `block` when
+// only `total` patterns exist overall (total > block*64).
+func BlockMask(block, total uint64) uint64 {
+	rem := total - block*64
+	if rem >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << rem) - 1
+}

@@ -1,0 +1,41 @@
+package simword
+
+import "testing"
+
+// TestInputWordBitwise checks InputWord against the definition: bit p of
+// input i's word for block b equals bit i of the global pattern index
+// b*64+p.
+func TestInputWordBitwise(t *testing.T) {
+	blocks := []uint64{0, 1, 2, 3, 7, 63, 64, 1 << 20, (1 << 56) - 1}
+	for i := 0; i < 62; i++ {
+		for _, b := range blocks {
+			w := InputWord(i, b)
+			for p := uint64(0); p < 64; p += 7 {
+				pattern := b*64 + p
+				want := pattern >> uint(i) & 1
+				got := w >> p & 1
+				if got != want {
+					t.Fatalf("InputWord(%d, %d) bit %d = %d, want %d", i, b, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockMask(t *testing.T) {
+	cases := []struct {
+		block, total, want uint64
+	}{
+		{0, 64, ^uint64(0)},
+		{0, 1, 1},
+		{0, 63, (1 << 63) - 1},
+		{1, 128, ^uint64(0)},
+		{1, 65, 1},
+		{2, 190, (1 << 62) - 1},
+	}
+	for _, c := range cases {
+		if got := BlockMask(c.block, c.total); got != c.want {
+			t.Errorf("BlockMask(%d, %d) = %#x, want %#x", c.block, c.total, got, c.want)
+		}
+	}
+}

@@ -29,6 +29,9 @@ go test -race -short ./internal/counter ./internal/engine ./internal/core
 echo "==> go test -race"
 go test -race ./...
 
+echo "==> sim kernel bench smoke (tape + parallel variants stay runnable)"
+go test -run '^$' -bench=. -benchtime=1x ./internal/sim/...
+
 echo "==> bench smoke (one iteration per benchmark)"
 go test -run '^$' -bench=. -benchtime=1x ./...
 

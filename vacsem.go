@@ -61,9 +61,11 @@ const (
 )
 
 // Options configures verification; see core.Options. Notable fields:
-// Workers bounds the number of sub-miters solved concurrently (0 = one
-// per CPU; results are deterministic regardless), and Progress streams
-// per-sub-miter completion events.
+// Workers bounds the number of sub-miters solved concurrently, and
+// SimWorkers the goroutines MethodEnum's simulation kernel spreads the
+// pattern-block range across (both 0 = one per CPU; results are
+// bit-identical regardless). Progress streams per-sub-miter completion
+// events.
 type Options = core.Options
 
 // Result reports a verified metric; see core.Result. Result.TotalStats
