@@ -5,6 +5,10 @@
 //	Table V   — MED of approximate adders & multipliers, three methods
 //	Table VI  — ER of EPFL & BACS circuits, VACSEM vs the DPLL baseline
 //
+// -table multi additionally benchmarks the multi-metric session mode:
+// {ER, MED, MHD} of each pair verified in one shared-base, deduplicated
+// run, against the sum of the three standalone runs.
+//
 // The default suite is scaled down so a complete run finishes in minutes
 // (the counter is pure Go); -full restores the paper's circuit sizes.
 //
@@ -41,7 +45,7 @@ func main() {
 }
 
 func run() int {
-	table := flag.String("table", "all", "table to regenerate: 3, 4, 5, 6, dd or all")
+	table := flag.String("table", "all", "table to regenerate: 3, 4, 5, 6, dd, multi or all")
 	full := flag.Bool("full", false, "use the paper's full-size circuits (slow)")
 	versions := flag.Int("versions", 0, "approximate versions per benchmark (default 3, 10 with -full)")
 	timeLimit := flag.Duration("timelimit", 0, "per-verification time limit (default 30s, 4h with -full)")
@@ -50,7 +54,7 @@ func run() int {
 	sharedCache := flag.Bool("shared-cache", true, "share one component-count cache across each run's sub-miter solvers (counts are identical either way)")
 	report := flag.String("report", "auto", "JSON report path; auto = BENCH_<timestamp>.json, none = disabled")
 	tracePath := flag.String("trace", "", "write span/event trace (JSON lines) to this file")
-	metricsFmt := flag.String("metrics", "", "print end-of-run metrics to stderr: table or json")
+	metricsFmt := flag.String("obs-metrics", "", "print end-of-run metrics to stderr: table or json")
 	pprofAddr := flag.String("pprof", "", "serve live net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -79,6 +83,7 @@ func run() int {
 	}
 	rep := bench.NewReport(cfg, *table, time.Now())
 	cfg.OnRun = rep.Add
+	cfg.OnSession = rep.AddSession
 
 	want := func(t string) bool { return *table == "all" || *table == t }
 	ran := false
@@ -107,6 +112,13 @@ func run() int {
 		bench.WriteDDScalability(os.Stdout, cfg)
 		fmt.Println()
 	}
+	if want("multi") {
+		ran = true
+		specs := bench.AdderMultSpecs(cfg)
+		rows := bench.RunMulti(specs, cfg)
+		bench.WriteMultiTable(os.Stdout, rows, cfg)
+		fmt.Println()
+	}
 	if want("6") {
 		ran = true
 		// Table VI compares VACSEM against the DPLL baseline only.
@@ -117,11 +129,11 @@ func run() int {
 		writeTable6(rows, cfg6)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown -table %q (want 3, 4, 5, 6, dd or all)\n", *table)
+		fmt.Fprintf(os.Stderr, "unknown -table %q (want 3, 4, 5, 6, dd, multi or all)\n", *table)
 		return 2
 	}
 
-	if len(rep.Runs) > 0 && *report != "none" {
+	if len(rep.Runs)+len(rep.Sessions) > 0 && *report != "none" {
 		path := *report
 		if path == "auto" {
 			path = bench.DefaultReportPath(time.Now())
@@ -131,7 +143,8 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "vacsem-bench:", err)
 			exitCode = 1
 		} else {
-			fmt.Fprintf(os.Stderr, "report written to %s (%d runs)\n", path, len(rep.Runs))
+			fmt.Fprintf(os.Stderr, "report written to %s (%d runs, %d sessions)\n",
+				path, len(rep.Runs), len(rep.Sessions))
 		}
 	}
 	if *metricsFmt != "" {

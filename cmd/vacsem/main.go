@@ -7,12 +7,18 @@
 //	vacsem -metric er  -exact adder.blif -approx adder_apx.blif
 //	vacsem -metric med -exact m.aag -approx m_apx.aag -method dpll
 //	vacsem -metric thr -threshold 8 -exact a.blif -approx b.blif
+//	vacsem -metrics er,med,mhd -exact adder.blif -approx adder_apx.blif
 //	vacsem -metric med -exact m.aag -approx m_apx.aag -workers 8 -progress
-//	vacsem -metric er -exact a.blif -approx b.blif -trace run.jsonl -metrics table
+//	vacsem -metric er -exact a.blif -approx b.blif -trace run.jsonl -obs-metrics table
 //
 // Methods: vacsem (simulation-enhanced counting, default), dpll (the
 // counter without simulation), enum (exhaustive simulation), bdd (the
 // prior-art decision-diagram flow).
+//
+// -metrics verifies several metrics in one session: the shared base
+// miter is built and synthesized once, structurally identical counting
+// tasks are deduplicated across metrics, and each reported value is
+// bit-identical to the corresponding single-metric run.
 //
 // Sub-miters are solved concurrently (-workers, default one per CPU);
 // results are bit-identical to the sequential run. -progress streams
@@ -20,9 +26,9 @@
 // cooperatively: the solvers notice within one poll interval.
 //
 // Observability: -trace FILE streams the span/event JSONL described in
-// internal/obs; -metrics table|json dumps the metrics registry after
-// the run; -pprof ADDR serves live net/http/pprof; -cpuprofile and
-// -memprofile write pprof files. None of these change the verified
+// internal/obs; -obs-metrics table|json dumps the metrics registry
+// after the run; -pprof ADDR serves live net/http/pprof; -cpuprofile
+// and -memprofile write pprof files. None of these change the verified
 // counts.
 package main
 
@@ -42,6 +48,7 @@ import (
 	"vacsem/internal/aiger"
 	"vacsem/internal/circuit"
 	"vacsem/internal/core"
+	"vacsem/internal/counter"
 	"vacsem/internal/obs"
 )
 
@@ -55,6 +62,7 @@ func main() {
 func run() int {
 	var (
 		metric      = flag.String("metric", "er", "metric: er, med, mhd or thr")
+		metricList  = flag.String("metrics", "", "comma-separated metrics verified in one deduplicated session (e.g. er,med,mhd); overrides -metric")
 		exactPath   = flag.String("exact", "", "exact circuit file (.blif or .aag)")
 		apxPath     = flag.String("approx", "", "approximate circuit file (.blif or .aag)")
 		method      = flag.String("method", "vacsem", "engine: vacsem, dpll, enum or bdd")
@@ -68,7 +76,7 @@ func run() int {
 		progress    = flag.Bool("progress", false, "stream per-sub-miter completion events")
 		verbose     = flag.Bool("v", false, "print per-output-bit details")
 		tracePath   = flag.String("trace", "", "write span/event trace (JSON lines) to this file")
-		metricsFmt  = flag.String("metrics", "", "print end-of-run metrics: table or json")
+		metricsFmt  = flag.String("obs-metrics", "", "print end-of-run metrics registry: table or json")
 		pprofAddr   = flag.String("pprof", "", "serve live net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -97,7 +105,7 @@ func run() int {
 		}
 	}()
 
-	if err := verify(*metric, *exactPath, *apxPath, *method, *threshold, core.Options{
+	if err := verify(*metric, *metricList, *exactPath, *apxPath, *method, *threshold, core.Options{
 		TimeLimit:          *timeLimit,
 		NoSynth:            *noSynth,
 		Alpha:              *alpha,
@@ -120,7 +128,7 @@ func run() int {
 	return exitCode
 }
 
-func verify(metric, exactPath, apxPath, method, threshold string, opt core.Options, progress, verbose bool) error {
+func verify(metric, metricList, exactPath, apxPath, method, threshold string, opt core.Options, progress, verbose bool) error {
 	exact, err := load(exactPath)
 	if err != nil {
 		return err
@@ -135,8 +143,8 @@ func verify(metric, exactPath, apxPath, method, threshold string, opt core.Optio
 	}
 	if progress {
 		opt.Progress = func(ev core.ProgressEvent) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %-8s count=%s  %v (dec=%d sim=%d)\n",
-				ev.Done, ev.Total, ev.Output, ev.Count,
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %-8s count=%s  %v (dec=%d sim=%d)\n",
+				ev.Done, ev.Total, ev.Metric, ev.Output, ev.Count,
 				ev.Runtime.Round(time.Microsecond),
 				ev.Stats.Decisions, ev.Stats.SimCalls)
 		}
@@ -146,6 +154,10 @@ func verify(metric, exactPath, apxPath, method, threshold string, opt core.Optio
 	// inner loops through the engine layer.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if metricList != "" {
+		return verifySession(ctx, metricList, threshold, exact, approx, opt, verbose)
+	}
 
 	start := time.Now()
 	var res *core.Result
@@ -157,9 +169,9 @@ func verify(metric, exactPath, apxPath, method, threshold string, opt core.Optio
 	case "mhd":
 		res, err = core.VerifyMHDContext(ctx, exact, approx, opt)
 	case "thr":
-		t, ok := new(big.Int).SetString(threshold, 10)
-		if !ok || t.Sign() < 0 {
-			return fmt.Errorf("bad -threshold %q", threshold)
+		t, err2 := parseThreshold(threshold)
+		if err2 != nil {
+			return err2
 		}
 		res, err = core.VerifyThresholdProbContext(ctx, exact, approx, t, opt)
 	default:
@@ -177,21 +189,91 @@ func verify(metric, exactPath, apxPath, method, threshold string, opt core.Optio
 	fmt.Printf("value~     : %.6g\n", res.Float())
 	fmt.Printf("count      : %s / 2^%d patterns\n", res.Count.String(), res.NumInputs)
 	fmt.Printf("runtime    : %v (wall %v)\n", res.Runtime, time.Since(start))
-	fmt.Printf("stats      : dec=%d prop=%d comp=%d cache=%d/%d (cross=%d evict=%d) sim=%d simpat=%d\n",
-		res.TotalStats.Decisions, res.TotalStats.Propagations,
-		res.TotalStats.Components, res.TotalStats.CacheHits,
-		res.TotalStats.CacheStores, res.TotalStats.CacheCrossHits,
-		res.TotalStats.CacheEvictions, res.TotalStats.SimCalls,
-		res.TotalStats.SimPatterns)
+	fmt.Printf("stats      : %s\n", statsLine(res.TotalStats))
 	if verbose {
-		for _, sub := range res.Subs {
-			fmt.Printf("  %-8s count=%-14s weight=%-10s nodes %d->%d  %v  (dec=%d sim=%d cache=%d)\n",
-				sub.Output, sub.Count, sub.Weight, sub.NodesBefore, sub.NodesAfter,
-				sub.Runtime.Round(time.Microsecond),
-				sub.Stats.Decisions, sub.Stats.SimCalls, sub.Stats.CacheHits)
+		printSubs(res.Subs)
+	}
+	return nil
+}
+
+// verifySession handles -metrics: every requested metric verified in one
+// shared-base, task-deduplicated session.
+func verifySession(ctx context.Context, metricList, threshold string, exact, approx *circuit.Circuit, opt core.Options, verbose bool) error {
+	var specs []core.MetricSpec
+	for _, name := range strings.Split(metricList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		var t *big.Int
+		if name == "thr" {
+			var err error
+			if t, err = parseThreshold(threshold); err != nil {
+				return err
+			}
+		}
+		spec, err := core.MetricSpecByName(name, t)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("empty -metrics list %q", metricList)
+	}
+
+	start := time.Now()
+	sess, err := core.VerifyMetrics(ctx, exact, approx, specs, opt)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("method     : %v\n", sess.Method)
+	fmt.Printf("exact      : %s (%d PI, %d PO)\n", exact.Name, exact.NumInputs(), exact.NumOutputs())
+	fmt.Printf("approx     : %s\n", approx.Name)
+	fmt.Printf("tasks      : %d requested, %d solved, %d deduplicated\n",
+		sess.TasksRequested, sess.TasksUnique, sess.TasksDeduped)
+	fmt.Printf("base nodes : %d -> %d (one shared synthesis pass)\n",
+		sess.BaseNodesBefore, sess.BaseNodesAfter)
+	fmt.Printf("runtime    : %v (wall %v)\n", sess.Runtime, time.Since(start))
+	fmt.Printf("stats      : %s\n", statsLine(sess.TotalStats))
+	for _, res := range sess.Results {
+		fmt.Printf("\nmetric     : %s\n", res.Metric)
+		fmt.Printf("value      : %s\n", res.Value.RatString())
+		fmt.Printf("value~     : %.6g\n", res.Float())
+		fmt.Printf("count      : %s / 2^%d patterns\n", res.Count.String(), res.NumInputs)
+		if verbose {
+			printSubs(res.Subs)
 		}
 	}
 	return nil
+}
+
+func parseThreshold(threshold string) (*big.Int, error) {
+	t, ok := new(big.Int).SetString(threshold, 10)
+	if !ok || t.Sign() < 0 {
+		return nil, fmt.Errorf("bad -threshold %q", threshold)
+	}
+	return t, nil
+}
+
+func statsLine(s counter.Stats) string {
+	return fmt.Sprintf("dec=%d prop=%d comp=%d cache=%d/%d (cross=%d evict=%d) sim=%d simpat=%d",
+		s.Decisions, s.Propagations, s.Components, s.CacheHits, s.CacheStores,
+		s.CacheCrossHits, s.CacheEvictions, s.SimCalls, s.SimPatterns)
+}
+
+func printSubs(subs []core.SubResult) {
+	for _, sub := range subs {
+		shared := ""
+		if sub.Shared {
+			shared = "  (shared task)"
+		}
+		fmt.Printf("  %-8s count=%-14s weight=%-10s nodes %d->%d  %v  (dec=%d sim=%d cache=%d)%s\n",
+			sub.Output, sub.Count, sub.Weight, sub.NodesBefore, sub.NodesAfter,
+			sub.Runtime.Round(time.Microsecond),
+			sub.Stats.Decisions, sub.Stats.SimCalls, sub.Stats.CacheHits, shared)
+	}
 }
 
 func load(path string) (*circuit.Circuit, error) {

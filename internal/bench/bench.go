@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -54,6 +55,11 @@ type Config struct {
 	// method), carrying the per-sub-miter wall times the text tables
 	// aggregate away. cmd/vacsem-bench points it at its JSON report.
 	OnRun func(RunRecord)
+	// OnSession, when non-nil, receives one SessionRecord per
+	// multi-metric session RunMulti executes, carrying the dedup and
+	// cross-metric cache accounting. cmd/vacsem-bench points it at its
+	// JSON report.
+	OnSession func(SessionRecord)
 }
 
 func (c Config) withDefaults() Config {
@@ -358,6 +364,141 @@ func RunTable(specs []Spec, metric Metric, cfg Config) []Row {
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// MultiRow is one line of the multi-metric session table: the geomean
+// session runtime against the summed standalone runtimes, plus the task
+// dedup achieved (from the first version; the task structure is the
+// same for every version of a benchmark family in practice).
+type MultiRow struct {
+	Name string
+	// SessionSec and StandaloneSec are geomeans over the completed
+	// versions of, respectively, the one-session runtime and the sum of
+	// the three standalone single-metric runtimes.
+	SessionSec    float64
+	StandaloneSec float64
+	// TasksRequested/Unique/Deduped report the first version's plan.
+	TasksRequested int
+	TasksUnique    int
+	TasksDeduped   int
+	TimedOut       bool
+	// Mismatch is set if any session value differed from its standalone
+	// counterpart — it must never happen; the table prints it loudly.
+	Mismatch bool
+}
+
+// multiSpecs is the metric set every session verifies.
+func multiSpecs() []core.MetricSpec {
+	return []core.MetricSpec{
+		{Kind: core.MetricER},
+		{Kind: core.MetricMED},
+		{Kind: core.MetricMHD},
+	}
+}
+
+// RunMulti verifies {ER, MED, MHD} of every spec in one deduplicated
+// session per approximate version (MethodVACSEM), and re-verifies each
+// metric standalone to measure what the shared base and the task dedup
+// save. Session values are checked bit-identical to the standalone ones.
+func RunMulti(specs []Spec, cfg Config) []MultiRow {
+	cfg = cfg.withDefaults()
+	method := core.MethodVACSEM
+	rows := make([]MultiRow, 0, len(specs))
+	for _, spec := range specs {
+		row := MultiRow{Name: spec.Name}
+		sessLogSum, aloneLogSum, completed := 0.0, 0.0, 0
+		for v, approx := range spec.Approx {
+			opt := core.Options{
+				Method: method, TimeLimit: cfg.TimeLimit,
+				Workers: cfg.Workers, SimWorkers: cfg.SimWorkers,
+				DisableSharedCache: cfg.NoSharedCache,
+			}
+			start := time.Now()
+			sess, err := core.VerifyMetrics(context.Background(), spec.Exact, approx, multiSpecs(), opt)
+			wall := time.Since(start)
+			rec := newSessionRecord(spec.Name, method, v, sess, err, wall)
+			if err != nil {
+				if cfg.OnSession != nil {
+					cfg.OnSession(rec)
+				}
+				row.TimedOut = true
+				break
+			}
+			if v == 0 {
+				row.TasksRequested = sess.TasksRequested
+				row.TasksUnique = sess.TasksUnique
+				row.TasksDeduped = sess.TasksDeduped
+			}
+			// Standalone comparison runs: same options, one metric each.
+			standalone := 0.0
+			verifiers := []func() (*core.Result, error){
+				func() (*core.Result, error) { return core.VerifyER(spec.Exact, approx, opt) },
+				func() (*core.Result, error) { return core.VerifyMED(spec.Exact, approx, opt) },
+				func() (*core.Result, error) { return core.VerifyMHD(spec.Exact, approx, opt) },
+			}
+			for i, verify := range verifiers {
+				res, err := verify()
+				if err != nil {
+					standalone = 0
+					break
+				}
+				standalone += res.Runtime.Seconds()
+				if res.Value.Cmp(sess.Results[i].Value) != 0 {
+					row.Mismatch = true
+				}
+			}
+			rec.StandaloneSeconds = standalone
+			if cfg.OnSession != nil {
+				cfg.OnSession(rec)
+			}
+			secs := rec.Seconds
+			if secs <= 0 {
+				secs = 1e-6
+			}
+			sessLogSum += math.Log(secs)
+			if standalone <= 0 {
+				standalone = 1e-6
+			}
+			aloneLogSum += math.Log(standalone)
+			completed++
+		}
+		if completed > 0 {
+			row.SessionSec = math.Exp(sessLogSum / float64(completed))
+			row.StandaloneSec = math.Exp(aloneLogSum / float64(completed))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteMultiTable prints the multi-metric session comparison.
+func WriteMultiTable(w io.Writer, rows []MultiRow, cfg Config) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Multi-metric sessions: {ER, MED, MHD} in one deduplicated run (time limit %v, %d approx versions%s)\n",
+		cfg.TimeLimit, cfg.Versions, map[bool]string{true: ", full-size", false: ", scaled"}[cfg.Full])
+	fmt.Fprintf(w, "%-11s %12s %14s %9s %16s %9s\n",
+		"Benchmark", "Session/s", "Standalone/s", "Speedup", "Tasks uniq/req", "Deduped")
+	for _, r := range rows {
+		if r.TimedOut {
+			fmt.Fprintf(w, "%-11s %12s\n", r.Name, fmt.Sprintf(">%g", cfg.TimeLimit.Seconds()))
+			continue
+		}
+		speedup := "-"
+		if r.SessionSec > 0 && r.StandaloneSec > 0 {
+			speedup = fmt.Sprintf("%.3gx", r.StandaloneSec/r.SessionSec)
+		}
+		dedup := "-"
+		if r.TasksRequested > 0 {
+			dedup = fmt.Sprintf("%d%%", 100*r.TasksDeduped/r.TasksRequested)
+		}
+		note := ""
+		if r.Mismatch {
+			note = "  VALUE MISMATCH"
+		}
+		fmt.Fprintf(w, "%-11s %12.4g %14.4g %9s %16s %9s%s\n",
+			r.Name, r.SessionSec, r.StandaloneSec, speedup,
+			fmt.Sprintf("%d/%d", r.TasksUnique, r.TasksRequested), dedup, note)
+	}
 }
 
 // WriteTable prints rows in the paper's layout.

@@ -172,3 +172,57 @@ func TestMetricString(t *testing.T) {
 		t.Error("metric names wrong")
 	}
 }
+
+// TestRunMulti exercises the multi-metric session harness on the two
+// smallest specs: dedup must fire, session values must match the
+// standalone runs (Mismatch false), and the session record stream must
+// carry the dedup and cross-metric cache accounting.
+func TestRunMulti(t *testing.T) {
+	cfg := tinyConfig()
+	var recs []SessionRecord
+	cfg.OnSession = func(rec SessionRecord) { recs = append(recs, rec) }
+	all := AdderMultSpecs(cfg)
+	specs := []Spec{all[0], all[3]} // adder8, mult6
+	rows := RunMulti(specs, cfg)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.TimedOut {
+			t.Errorf("%s: timed out", r.Name)
+		}
+		if r.Mismatch {
+			t.Errorf("%s: session values differ from standalone", r.Name)
+		}
+		if r.TasksDeduped <= 0 {
+			t.Errorf("%s: TasksDeduped = %d, want > 0", r.Name, r.TasksDeduped)
+		}
+		if r.TasksUnique+r.TasksDeduped != r.TasksRequested {
+			t.Errorf("%s: task accounting %d+%d != %d",
+				r.Name, r.TasksUnique, r.TasksDeduped, r.TasksRequested)
+		}
+		if r.SessionSec <= 0 || r.StandaloneSec <= 0 {
+			t.Errorf("%s: runtimes %v / %v", r.Name, r.SessionSec, r.StandaloneSec)
+		}
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d session records", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.TasksDeduped <= 0 || len(rec.Metrics) != 3 {
+			t.Errorf("%s: record %+v", rec.Bench, rec)
+		}
+		if rec.StandaloneSeconds <= 0 {
+			t.Errorf("%s: standalone seconds missing", rec.Bench)
+		}
+	}
+	var buf bytes.Buffer
+	WriteMultiTable(&buf, rows, cfg)
+	out := buf.String()
+	if !strings.Contains(out, "adder8") || !strings.Contains(out, "Deduped") {
+		t.Errorf("multi table malformed:\n%s", out)
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("multi table reports mismatch:\n%s", out)
+	}
+}

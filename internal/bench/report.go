@@ -92,6 +92,84 @@ func newRunRecord(bench, metric string, m core.Method, version int, res *core.Re
 	return rec
 }
 
+// MetricRecord is one metric's verified value inside a multi-metric
+// session record.
+type MetricRecord struct {
+	Metric string `json:"metric"`
+	Value  string `json:"value"`
+	Count  string `json:"count"`
+}
+
+// SessionRecord is one multi-metric verification session (the -table
+// multi mode): all metrics of one (benchmark, version) pair verified in
+// a single shared-base, task-deduplicated run, plus the matching sum of
+// standalone single-metric runtimes for comparison.
+type SessionRecord struct {
+	Bench   string  `json:"bench"`
+	Method  string  `json:"method"`
+	Version int     `json:"version"`
+	Seconds float64 `json:"seconds"`
+	// StandaloneSeconds sums the runtimes of the equivalent standalone
+	// single-metric runs (zero when they were skipped or failed).
+	StandaloneSeconds float64        `json:"standalone_seconds,omitempty"`
+	Metrics           []MetricRecord `json:"metrics,omitempty"`
+	// TasksRequested counts metric output bits before deduplication;
+	// TasksUnique the counting tasks actually solved.
+	TasksRequested int `json:"tasks_requested"`
+	TasksUnique    int `json:"tasks_unique"`
+	TasksDeduped   int `json:"tasks_deduped"`
+	// BaseNodesBefore/After is the shared base miter's gate count around
+	// its single synthesis pass.
+	BaseNodesBefore int `json:"base_nodes_before"`
+	BaseNodesAfter  int `json:"base_nodes_after"`
+	// CacheCrossHits counts component-cache hits on entries first stored
+	// by another sub-miter solver — with the session-wide shared cache
+	// this includes hits across metrics.
+	CacheCrossHits uint64        `json:"cache_cross_hits"`
+	TimedOut       bool          `json:"timed_out,omitempty"`
+	Err            string        `json:"error,omitempty"`
+	Stats          counter.Stats `json:"stats"`
+}
+
+// newSessionRecord flattens one session outcome. sess may be nil.
+func newSessionRecord(bench string, m core.Method, version int, sess *core.SessionResult, err error, wall time.Duration) SessionRecord {
+	rec := SessionRecord{
+		Bench:   bench,
+		Method:  m.String(),
+		Version: version,
+		Seconds: wall.Seconds(),
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrTimeout):
+		rec.TimedOut = true
+	default:
+		rec.Err = err.Error()
+	}
+	if sess == nil {
+		return rec
+	}
+	if sess.Runtime > 0 {
+		rec.Seconds = sess.Runtime.Seconds()
+	}
+	rec.TasksRequested = sess.TasksRequested
+	rec.TasksUnique = sess.TasksUnique
+	rec.TasksDeduped = sess.TasksDeduped
+	rec.BaseNodesBefore = sess.BaseNodesBefore
+	rec.BaseNodesAfter = sess.BaseNodesAfter
+	rec.CacheCrossHits = sess.TotalStats.CacheCrossHits
+	rec.Stats = sess.TotalStats
+	rec.Metrics = make([]MetricRecord, len(sess.Results))
+	for i, res := range sess.Results {
+		rec.Metrics[i] = MetricRecord{
+			Metric: res.Metric,
+			Value:  res.Value.RatString(),
+			Count:  res.Count.String(),
+		}
+	}
+	return rec
+}
+
 // Report is the machine-readable run summary cmd/vacsem-bench writes as
 // BENCH_<timestamp>.json: every individual verification (with
 // per-sub-miter wall times) plus the end-of-run metric totals, so the
@@ -112,9 +190,10 @@ type Report struct {
 	// snapshot. Zero when the kernel never ran.
 	SimBlocksPerSec float64 `json:"sim_blocks_per_sec"`
 
-	mu      sync.Mutex
-	Runs    []RunRecord   `json:"runs"`
-	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	mu       sync.Mutex
+	Runs     []RunRecord     `json:"runs"`
+	Sessions []SessionRecord `json:"sessions,omitempty"`
+	Metrics  *obs.Snapshot   `json:"metrics,omitempty"`
 }
 
 // NewReport creates a report describing one vacsem-bench invocation.
@@ -141,6 +220,14 @@ func (r *Report) Add(rec RunRecord) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.Runs = append(r.Runs, rec)
+}
+
+// AddSession appends one multi-metric session record; safe for
+// concurrent use so it can serve directly as Config.OnSession.
+func (r *Report) AddSession(rec SessionRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Sessions = append(r.Sessions, rec)
 }
 
 // AttachMetrics snapshots the default metrics registry into the report

@@ -236,6 +236,14 @@ func (c *Circuit) SetOutputs(ids ...int) {
 	c.Outputs = append(c.Outputs[:0], ids...)
 }
 
+// ClearOutputs removes every primary output (and its name), keeping the
+// logic intact. Builders that anchor temporary outputs through a
+// synthesis pass use it to re-purpose the circuit afterwards.
+func (c *Circuit) ClearOutputs() {
+	c.Outputs = c.Outputs[:0]
+	c.outputNames = c.outputNames[:0]
+}
+
 // AddOutput appends a primary output with an optional name.
 func (c *Circuit) AddOutput(id int, name string) {
 	if id < 0 || id >= len(c.Nodes) {

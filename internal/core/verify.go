@@ -1,10 +1,15 @@
-// Package core orchestrates average-error verification: it builds the
-// approximation miters (Section II-B of the paper), resolves the
+// Package core orchestrates average-error verification: it compiles the
+// requested metrics into a verification session (internal/plan) over a
+// shared base miter (Section II-B of the paper), resolves the
 // configured method to a verification backend (internal/engine), and
-// shapes the backend's outcome into the metric-level API of the paper.
+// shapes the session's outcome into the metric-level API of the paper.
 // The four built-in backends cover the paper's contribution (the
 // simulation-enhanced counter) and its three comparison flows (plain
 // DPLL counting, exhaustive enumeration, ROBDDs).
+//
+// VerifyMetrics verifies several metrics in one deduplicated session;
+// the single-metric Verify* functions are thin wrappers around it and
+// return bit-identical results.
 package core
 
 import (
@@ -12,18 +17,21 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"strings"
 	"time"
 
 	"vacsem/internal/bdd"
 	"vacsem/internal/circuit"
 	"vacsem/internal/counter"
 	"vacsem/internal/engine"
-	"vacsem/internal/miter"
 	"vacsem/internal/obs"
+	"vacsem/internal/plan"
 )
 
-// Run-level metrics, updated once per verification.
+// Session- and run-level metrics. A session is one VerifyMetrics (or
+// wrapper) invocation; a run is one metric verified inside it.
 var (
+	mSessions   = obs.Default.Counter("core.sessions")
 	mRuns       = obs.Default.Counter("core.runs")
 	mRunErrors  = obs.Default.Counter("core.run_errors")
 	hRunSeconds = obs.Default.Histogram("core.run_seconds", nil)
@@ -97,23 +105,62 @@ var ErrTooLarge = engine.ErrTooLarge
 // exceeds the node budget (Options.BDDNodeLimit).
 var ErrBDDTooLarge = bdd.ErrNodeLimit
 
-// ProgressEvent reports the completion of one sub-miter; see
-// engine.ProgressEvent.
-type ProgressEvent = engine.ProgressEvent
+// MetricKind selects an average-error metric in a MetricSpec; see
+// plan.Kind.
+type MetricKind = plan.Kind
 
-// ProgressFunc observes per-sub-miter completion events; see
-// engine.ProgressFunc.
-type ProgressFunc = engine.ProgressFunc
+// The metric kinds VerifyMetrics accepts.
+const (
+	MetricER            = plan.ER
+	MetricMED           = plan.MED
+	MetricMHD           = plan.MHD
+	MetricThresholdProb = plan.ThresholdProb
+)
+
+// MetricSpec requests one metric in a VerifyMetrics session; see
+// plan.Spec. MetricThresholdProb carries its threshold t in
+// Spec.Threshold.
+type MetricSpec = plan.Spec
+
+// MetricSpecByName resolves a CLI metric name ("er", "med", "mhd",
+// "thr") to a spec; "thr" attaches the given deviation threshold.
+func MetricSpecByName(name string, threshold *big.Int) (MetricSpec, error) {
+	switch name {
+	case "er":
+		return MetricSpec{Kind: MetricER}, nil
+	case "med":
+		return MetricSpec{Kind: MetricMED}, nil
+	case "mhd":
+		return MetricSpec{Kind: MetricMHD}, nil
+	case "thr":
+		var t *big.Int
+		if threshold != nil {
+			t = new(big.Int).Set(threshold)
+		}
+		return MetricSpec{Kind: MetricThresholdProb, Threshold: t}, nil
+	default:
+		return MetricSpec{}, fmt.Errorf("core: unknown metric %q (want er, med, mhd or thr)", name)
+	}
+}
+
+// ProgressEvent reports the completion of one metric output bit; see
+// plan.ProgressEvent.
+type ProgressEvent = plan.ProgressEvent
+
+// ProgressFunc observes per-bit completion events; see plan.ProgressFunc.
+type ProgressFunc = plan.ProgressFunc
 
 // Options configures a verification run. The zero value uses MethodVACSEM
 // with synthesis enabled, no time limit, and one worker per CPU.
 type Options struct {
 	Method Method
-	// NoSynth skips the per-sub-miter synthesis (compress) step.
+	// NoSynth skips the synthesis (compress) steps: the session's base
+	// compression, the per-task cone compression, and the bdd backend's
+	// own pass.
 	NoSynth bool
-	// TimeLimit bounds the entire verification (all sub-miters). 0 = none.
-	// It is applied as a context deadline; the Verify*Context variants
-	// additionally honour their caller's context.
+	// TimeLimit bounds the entire verification (all tasks of the
+	// session). 0 = none. It is applied as a context deadline; the
+	// Verify*Context variants additionally honour their caller's context.
 	TimeLimit time.Duration
 	// Alpha overrides the density-score scaling factor (default 2).
 	Alpha float64
@@ -121,9 +168,10 @@ type Options struct {
 	MaxSimVars int
 	// DisableCache turns off component caching (ablation).
 	DisableCache bool
-	// DisableSharedCache gives every sub-miter solver a private component
-	// cache instead of the run-wide shared one (ablation; results are
-	// bit-identical either way, sharing only adds cross-sub-miter hits).
+	// DisableSharedCache gives every task solver a private component
+	// cache instead of the session-wide shared one (ablation; results
+	// are bit-identical either way, sharing only adds cross-task hits —
+	// including across metrics of one session).
 	DisableSharedCache bool
 	// DisableIBCP turns off failed-literal probing (ablation).
 	DisableIBCP bool
@@ -135,7 +183,7 @@ type Options struct {
 	// BDDNodeLimit caps the decision-diagram size for MethodBDD
 	// (default 1<<22 nodes).
 	BDDNodeLimit int
-	// Workers bounds the number of sub-miters solved concurrently.
+	// Workers bounds the number of tasks solved concurrently.
 	// 0 means runtime.GOMAXPROCS(0); 1 forces sequential solving.
 	// Results are deterministic regardless of the worker count.
 	Workers int
@@ -143,8 +191,8 @@ type Options struct {
 	// spreads the pattern-block range across. 0 means
 	// runtime.GOMAXPROCS(0); counts are bit-identical at any setting.
 	SimWorkers int
-	// Progress, when non-nil, receives one event per completed
-	// sub-miter (possibly out of output order under concurrency; calls
+	// Progress, when non-nil, receives one event per completed metric
+	// output bit (possibly out of output order under concurrency; calls
 	// are serialized). The callback must not block.
 	Progress ProgressFunc
 }
@@ -167,9 +215,10 @@ func (o *Options) engineConfig() engine.Config {
 	}
 }
 
-// SubResult reports one sub-miter's #SAT problem. Count is always
-// non-nil, including trivial and error paths.
-type SubResult = engine.SubResult
+// SubResult reports one metric output bit's #SAT problem. Count is
+// always non-nil, including trivial and error paths. See plan.SubResult
+// for the sharing semantics of deduplicated bits.
+type SubResult = plan.SubResult
 
 // Result reports a verified metric.
 type Result struct {
@@ -182,6 +231,8 @@ type Result struct {
 	Subs      []SubResult
 	// TotalStats aggregates the counter statistics of every sub-miter
 	// (Stats.Add over Subs), so reporting layers need not re-sum fields.
+	// Deduplicated bits carry zero Stats (the owning bit reports them),
+	// so the sum counts each task's work exactly once.
 	TotalStats counter.Stats
 }
 
@@ -189,6 +240,71 @@ type Result struct {
 func (r *Result) Float() float64 {
 	f, _ := r.Value.Float64()
 	return f
+}
+
+// SessionResult reports a multi-metric verification session: one Result
+// per requested spec, in order, plus the session-wide work accounting
+// the individual results cannot express (how much the shared base and
+// the task dedup saved).
+type SessionResult struct {
+	// Results holds one metric result per spec, in request order.
+	Results []*Result
+	Method  Method
+	// NumInputs is the shared input count of the circuit pair.
+	NumInputs int
+	// Runtime is the wall time of the whole session; each Result carries
+	// the same value (the session solves all metrics together, so no
+	// narrower per-metric wall time exists).
+	Runtime time.Duration
+	// TasksRequested counts metric output bits before deduplication;
+	// TasksUnique the counting tasks actually solved; TasksDeduped the
+	// difference.
+	TasksRequested int
+	TasksUnique    int
+	TasksDeduped   int
+	// BaseNodesBefore/After record the shared base miter's gate count
+	// around its single synthesis pass.
+	BaseNodesBefore int
+	BaseNodesAfter  int
+	// TotalStats aggregates the counter statistics over all tasks of
+	// the session (equals the sum of the per-Result TotalStats).
+	TotalStats counter.Stats
+}
+
+// VerifyMetrics verifies several average-error metrics of one circuit
+// pair in a single session: the base miter (both circuit copies over
+// shared inputs) is built and synthesized once, every metric's
+// deviation bits compile to counting tasks, structurally identical
+// tasks are deduplicated across metrics, and one backend run solves the
+// remaining tasks with a shared component cache. Per-metric results are
+// bit-identical to the standalone Verify* calls at any worker count.
+func VerifyMetrics(ctx context.Context, exact, approx *circuit.Circuit, specs []MetricSpec, opt Options) (*SessionResult, error) {
+	be, err := engine.Lookup(opt.Method.String())
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.MetricName()
+	}
+	tr := obs.Active()
+	var span obs.SpanID
+	if tr != nil {
+		span = tr.StartSpan(obs.SpanFrom(ctx), "session", obs.Fields{
+			"session": strings.Join(names, "+"), "backend": opt.Method.String(),
+			"metrics": len(specs), "inputs": exact.NumInputs(),
+		})
+		ctx = obs.WithSpan(ctx, span)
+	}
+	p, err := plan.Build(ctx, exact, approx, specs, opt.NoSynth)
+	if err != nil {
+		if tr != nil {
+			tr.EndSpan(span, "session", obs.Fields{"error": err.Error()})
+		}
+		return nil, err
+	}
+	return runPlan(ctx, p, be, opt, start, tr, span)
 }
 
 // VerifyER verifies the error rate (Eq. 2): the fraction of input
@@ -200,11 +316,7 @@ func VerifyER(exact, approx *circuit.Circuit, opt Options) (*Result, error) {
 
 // VerifyERContext is VerifyER with cooperative cancellation.
 func VerifyERContext(ctx context.Context, exact, approx *circuit.Circuit, opt Options) (*Result, error) {
-	m, err := miter.ER(exact, approx)
-	if err != nil {
-		return nil, err
-	}
-	return verifyMiter(ctx, "ER", m, uniformWeights(1), opt)
+	return verifyOne(ctx, exact, approx, MetricSpec{Kind: MetricER}, opt)
 }
 
 // VerifyMED verifies the mean error distance (Eq. 4): the average of
@@ -216,11 +328,7 @@ func VerifyMED(exact, approx *circuit.Circuit, opt Options) (*Result, error) {
 
 // VerifyMEDContext is VerifyMED with cooperative cancellation.
 func VerifyMEDContext(ctx context.Context, exact, approx *circuit.Circuit, opt Options) (*Result, error) {
-	m, err := miter.MED(exact, approx)
-	if err != nil {
-		return nil, err
-	}
-	return verifyMiter(ctx, "MED", m, powerWeights(m.NumOutputs()), opt)
+	return verifyOne(ctx, exact, approx, MetricSpec{Kind: MetricMED}, opt)
 }
 
 // VerifyMHD verifies the mean Hamming distance: the average number of
@@ -231,11 +339,7 @@ func VerifyMHD(exact, approx *circuit.Circuit, opt Options) (*Result, error) {
 
 // VerifyMHDContext is VerifyMHD with cooperative cancellation.
 func VerifyMHDContext(ctx context.Context, exact, approx *circuit.Circuit, opt Options) (*Result, error) {
-	m, err := miter.HD(exact, approx)
-	if err != nil {
-		return nil, err
-	}
-	return verifyMiter(ctx, "MHD", m, uniformWeights(m.NumOutputs()), opt)
+	return verifyOne(ctx, exact, approx, MetricSpec{Kind: MetricMHD}, opt)
 }
 
 // VerifyThresholdProb verifies P(|int(y) - int(y')| > t), the probability
@@ -245,18 +349,24 @@ func VerifyThresholdProb(exact, approx *circuit.Circuit, t *big.Int, opt Options
 }
 
 // VerifyThresholdProbContext is VerifyThresholdProb with cooperative
-// cancellation.
+// cancellation. The formatted metric name ("P(dev>t)") is carried from
+// the spec through the session, so trace spans and progress events
+// agree with the final Result.Metric.
 func VerifyThresholdProbContext(ctx context.Context, exact, approx *circuit.Circuit, t *big.Int, opt Options) (*Result, error) {
-	m, err := miter.Threshold(exact, approx, t)
+	var tc *big.Int
+	if t != nil {
+		tc = new(big.Int).Set(t)
+	}
+	return verifyOne(ctx, exact, approx, MetricSpec{Kind: MetricThresholdProb, Threshold: tc}, opt)
+}
+
+// verifyOne runs a single-metric session and unwraps its result.
+func verifyOne(ctx context.Context, exact, approx *circuit.Circuit, spec MetricSpec, opt Options) (*Result, error) {
+	sr, err := VerifyMetrics(ctx, exact, approx, []MetricSpec{spec}, opt)
 	if err != nil {
 		return nil, err
 	}
-	r, err := verifyMiter(ctx, "P(dev>t)", m, uniformWeights(1), opt)
-	if err != nil {
-		return nil, err
-	}
-	r.Metric = fmt.Sprintf("P(dev>%v)", t)
-	return r, nil
+	return sr.Results[0], nil
 }
 
 // VerifyMiter verifies a user-supplied deviation miter: the metric value
@@ -267,7 +377,9 @@ func VerifyMiter(name string, m *circuit.Circuit, weights []*big.Int, opt Option
 	return VerifyMiterContext(context.Background(), name, m, weights, opt)
 }
 
-// VerifyMiterContext is VerifyMiter with cooperative cancellation.
+// VerifyMiterContext is VerifyMiter with cooperative cancellation. The
+// weights are defensively copied, so mutating the slice (or its
+// elements) after the call cannot corrupt the reported results.
 func VerifyMiterContext(ctx context.Context, name string, m *circuit.Circuit, weights []*big.Int, opt Options) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -275,23 +387,32 @@ func VerifyMiterContext(ctx context.Context, name string, m *circuit.Circuit, we
 	if len(weights) != m.NumOutputs() {
 		return nil, fmt.Errorf("core: %d weights for %d outputs", len(weights), m.NumOutputs())
 	}
-	return verifyMiter(ctx, name, m, weights, opt)
-}
-
-func uniformWeights(n int) []*big.Int {
-	w := make([]*big.Int, n)
-	for i := range w {
-		w[i] = big.NewInt(1)
+	be, err := engine.Lookup(opt.Method.String())
+	if err != nil {
+		return nil, err
 	}
-	return w
-}
-
-func powerWeights(n int) []*big.Int {
-	w := make([]*big.Int, n)
-	for i := range w {
-		w[i] = new(big.Int).Lsh(big.NewInt(1), uint(i))
+	start := time.Now()
+	tr := obs.Active()
+	var span obs.SpanID
+	if tr != nil {
+		span = tr.StartSpan(obs.SpanFrom(ctx), "session", obs.Fields{
+			"session": name, "backend": opt.Method.String(),
+			"metrics": 1, "inputs": m.NumInputs(),
+		})
+		ctx = obs.WithSpan(ctx, span)
 	}
-	return w
+	p, err := plan.FromMiter(ctx, name, m, weights, opt.NoSynth)
+	if err != nil {
+		if tr != nil {
+			tr.EndSpan(span, "session", obs.Fields{"error": err.Error()})
+		}
+		return nil, err
+	}
+	sr, err := runPlan(ctx, p, be, opt, start, tr, span)
+	if err != nil {
+		return nil, err
+	}
+	return sr.Results[0], nil
 }
 
 // errRunDeadline is the cancellation cause installed by withTimeLimit,
@@ -331,63 +452,68 @@ func mapErr(ctx context.Context, err error) error {
 	return err
 }
 
-// verifyMiter resolves the configured method to a backend through the
-// engine registry and runs the task — no method dispatch lives here.
-// Each verification is one "run" trace span; the backend and sub-miter
-// spans nest under it through the context.
-func verifyMiter(ctx context.Context, metric string, m *circuit.Circuit, weights []*big.Int, opt Options) (*Result, error) {
-	start := time.Now()
-	be, err := engine.Lookup(opt.Method.String())
-	if err != nil {
-		return nil, err
-	}
-	mRuns.Inc()
-	tr := obs.Active()
-	var runSpan obs.SpanID
-	if tr != nil {
-		runSpan = tr.StartSpan(obs.SpanFrom(ctx), "run", obs.Fields{
-			"metric": metric, "backend": opt.Method.String(),
-			"inputs": m.NumInputs(), "outputs": m.NumOutputs(),
-		})
-		ctx = obs.WithSpan(ctx, runSpan)
-	}
+// runPlan executes a compiled plan on a backend and shapes the outcome
+// into the session result. Each session is one "session" trace span
+// (already opened by the caller); the plan, backend and sub_miter spans
+// nest under it through the context, and one leaf "run" span per metric
+// records the assembled value.
+func runPlan(ctx context.Context, p *plan.Plan, be engine.Backend, opt Options, start time.Time, tr *obs.Tracer, span obs.SpanID) (*SessionResult, error) {
+	mSessions.Inc()
 	ctx, cancel := withTimeLimit(ctx, opt)
 	defer cancel()
-	out, err := be.Solve(ctx, &engine.Task{
-		Metric:   metric,
-		Miter:    m,
-		Weights:  weights,
-		Config:   opt.engineConfig(),
-		Progress: opt.Progress,
-	})
+	out, err := p.Run(ctx, be, opt.engineConfig(), opt.Progress)
 	if err != nil {
 		err = mapErr(ctx, err)
 		mRunErrors.Inc()
 		hRunSeconds.Observe(time.Since(start).Seconds())
 		if tr != nil {
-			tr.EndSpan(runSpan, "run", obs.Fields{"error": err.Error()})
+			tr.EndSpan(span, "session", obs.Fields{"error": err.Error()})
 		}
 		return nil, err
 	}
-	res := &Result{
-		Metric:    metric,
-		Method:    opt.Method,
-		NumInputs: m.NumInputs(),
-		Count:     out.Count,
-		Subs:      out.Subs,
-		Runtime:   time.Since(start),
+	sr := &SessionResult{
+		Results:         make([]*Result, len(out.Metrics)),
+		Method:          opt.Method,
+		NumInputs:       p.TotalInputs,
+		Runtime:         time.Since(start),
+		TasksRequested:  p.TasksRequested,
+		TasksUnique:     len(p.Tasks),
+		TasksDeduped:    p.TasksDeduped(),
+		BaseNodesBefore: p.BaseNodesBefore,
+		BaseNodesAfter:  p.BaseNodesAfter,
 	}
-	for i := range res.Subs {
-		res.TotalStats.Add(res.Subs[i].Stats)
+	denom := new(big.Int).Lsh(big.NewInt(1), uint(p.TotalInputs))
+	for i := range out.Metrics {
+		mo := &out.Metrics[i]
+		mRuns.Inc()
+		res := &Result{
+			Metric:     mo.Name,
+			Method:     opt.Method,
+			NumInputs:  p.TotalInputs,
+			Count:      mo.Count,
+			Subs:       mo.Subs,
+			Runtime:    sr.Runtime,
+			TotalStats: mo.Stats,
+			Value:      new(big.Rat).SetFrac(new(big.Int).Set(mo.Count), denom),
+		}
+		sr.Results[i] = res
+		sr.TotalStats.Add(mo.Stats)
+		if tr != nil {
+			rs := tr.StartSpan(span, "run", obs.Fields{
+				"metric": mo.Name, "backend": opt.Method.String(),
+			})
+			tr.EndSpan(rs, "run", obs.Fields{
+				"metric": mo.Name, "count": res.Count.String(),
+				"value": res.Value.RatString(), "stats": mo.Stats,
+			})
+		}
 	}
-	denom := new(big.Int).Lsh(big.NewInt(1), uint(m.NumInputs()))
-	res.Value = new(big.Rat).SetFrac(new(big.Int).Set(res.Count), denom)
-	hRunSeconds.Observe(res.Runtime.Seconds())
+	hRunSeconds.Observe(sr.Runtime.Seconds())
 	if tr != nil {
-		tr.EndSpan(runSpan, "run", obs.Fields{
-			"count": res.Count.String(), "value": res.Value.RatString(),
-			"stats": res.TotalStats,
+		tr.EndSpan(span, "session", obs.Fields{
+			"tasks": sr.TasksUnique, "tasks_deduped": sr.TasksDeduped,
+			"stats": sr.TotalStats,
 		})
 	}
-	return res, nil
+	return sr, nil
 }

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"context"
-	"math/big"
 	"time"
 
 	"vacsem/internal/bdd"
@@ -10,44 +9,45 @@ import (
 	"vacsem/internal/synth"
 )
 
-// bddBackend verifies through decision diagrams: synthesize the miter,
-// build one ROBDD per deviation bit, and count over the diagrams — the
-// prior-art flow of the paper's references [3]-[6]. Explosion surfaces
-// as bdd.ErrNodeLimit; cancellation is polled inside the ITE apply
-// loop.
+// bddBackend verifies through decision diagrams: synthesize the session
+// miter, build one ROBDD per task bit, and count over the diagrams —
+// the prior-art flow of the paper's references [3]-[6]. One manager is
+// shared across every task (and therefore every metric of the session),
+// so structurally shared deviation logic is built once. Explosion
+// surfaces as bdd.ErrNodeLimit; cancellation is polled inside the ITE
+// apply loop.
 type bddBackend struct{}
 
 func (bddBackend) Name() string { return "bdd" }
 
-func (bddBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) {
+func (bddBackend) Execute(ctx context.Context, req *Request) ([]TaskResult, error) {
 	// The apply loop's poll is tick-based; check once up front so an
 	// already-ended context never starts a build.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	work := t.Miter
-	if !t.Config.NoSynth {
+	work := req.Miter
+	if !req.Config.NoSynth {
 		work = synth.Compress(work)
 	}
 	tr := obs.Active()
 	var beSpan obs.SpanID
 	if tr != nil {
 		beSpan = tr.StartSpan(obs.SpanFrom(ctx), "backend", obs.Fields{
-			"backend": "bdd", "metric": t.Metric,
-			"subs": work.NumOutputs(), "inputs": work.NumInputs(),
-			"node_limit": t.Config.BDDNodeLimit,
+			"backend": "bdd", "session": req.Session,
+			"tasks": len(req.Tasks), "inputs": work.NumInputs(),
+			"node_limit": req.Config.BDDNodeLimit,
 		})
 		ctx = obs.WithSpan(ctx, beSpan) // bdd_growth events parent here
 		defer tr.EndSpan(beSpan, "backend", nil)
 	}
 	start := time.Now()
-	mgr := bdd.New(work.NumInputs(), t.Config.BDDNodeLimit)
+	mgr := bdd.New(work.NumInputs(), req.Config.BDDNodeLimit)
 	outs, err := mgr.BuildOutputsCtx(ctx, work, bdd.DFSOrder(work))
 	if err != nil {
 		return nil, err
 	}
-	out := &Outcome{Count: new(big.Int), Subs: make([]SubResult, len(outs))}
-	var weighted big.Int
+	results := make([]TaskResult, len(req.Tasks))
 	for j, f := range outs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -55,32 +55,26 @@ func (bddBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) {
 		var span obs.SpanID
 		if tr != nil {
 			span = tr.StartSpan(beSpan, "sub_miter", obs.Fields{
-				"backend": "bdd", "index": j, "output": t.Miter.OutputName(j),
+				"backend": "bdd", "index": j, "output": req.Tasks[j].Label,
 			})
 		}
-		sr := SubResult{
-			Output: t.Miter.OutputName(j),
-			Count:  mgr.CountOnes(f),
-			Weight: t.Weights[j],
-		}
-		out.Subs[j] = sr
+		res := TaskResult{Count: mgr.CountOnes(f)}
+		results[j] = res
 		if tr != nil {
 			tr.EndSpan(span, "sub_miter", obs.Fields{
-				"index": j, "output": sr.Output, "bdd_size": mgr.Size(f),
-				"count": sr.Count.String(), "stats": sr.Stats,
+				"index": j, "output": req.Tasks[j].Label, "bdd_size": mgr.Size(f),
+				"count": res.Count.String(), "stats": res.Stats,
 			})
 		}
-		weighted.Mul(sr.Count, sr.Weight)
-		out.Count.Add(out.Count, &weighted)
-		if t.Progress != nil {
-			t.Progress(ProgressEvent{
-				Metric: t.Metric, Backend: "bdd",
-				Index: j, Output: sr.Output,
-				Count: sr.Count, Weight: sr.Weight,
-				Done: j + 1, Total: len(outs),
+		if req.Progress != nil {
+			req.Progress(TaskEvent{
+				Backend: "bdd",
+				Index:   j, Label: req.Tasks[j].Label,
+				Count: res.Count,
+				Done:  j + 1, Total: len(req.Tasks),
 				Runtime: time.Since(start),
 			})
 		}
 	}
-	return out, nil
+	return results, nil
 }

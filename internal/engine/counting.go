@@ -11,12 +11,10 @@ import (
 	"vacsem/internal/circuit"
 	"vacsem/internal/cnf"
 	"vacsem/internal/counter"
-	"vacsem/internal/miter"
 	"vacsem/internal/obs"
-	"vacsem/internal/synth"
 )
 
-// Per-sub-miter metrics, updated once per solved sub-miter.
+// Per-task metrics, updated once per solved task (sub-miter).
 var (
 	mSubMiters   = obs.Default.Counter("engine.sub_miters")
 	mSubTrivial  = obs.Default.Counter("engine.sub_miters_trivial")
@@ -25,16 +23,16 @@ var (
 		[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1})
 )
 
-// countingBackend runs the #SAT flow of the paper: split the miter into
-// one single-output sub-miter per deviation bit (Phase 1) and hand each
-// to the model counter (Phase 2). With enableSim it is the VACSEM
-// engine; without, the plain-DPLL baseline (the GANAK role).
+// countingBackend runs the #SAT flow of the paper: each task is one
+// single-output sub-miter (Phase 1's split, performed by the plan
+// layer) handed to the model counter (Phase 2). With enableSim it is
+// the VACSEM engine; without, the plain-DPLL baseline (the GANAK role).
 //
-// Sub-miters are independent #SAT problems, so the backend solves them
-// on a bounded worker pool (Config.Workers). Each worker builds its own
+// Tasks are independent #SAT problems, so the backend solves them on a
+// bounded worker pool (Config.Workers). Each worker builds its own
 // Solver, so counts are bit-identical to the sequential run; results
-// are collected by output index and aggregated in index order, making
-// Outcome deterministic regardless of completion order.
+// are collected by task index, making the result slice deterministic
+// regardless of completion order.
 type countingBackend struct {
 	name      string
 	enableSim bool
@@ -42,53 +40,45 @@ type countingBackend struct {
 
 func (b *countingBackend) Name() string { return b.name }
 
-func (b *countingBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) {
-	// Compress the whole miter once before splitting: the deviation
-	// bits share most of their logic (both circuit copies plus the
-	// subtractor), so per-sub-miter synthesis converges in one cheap
-	// pass afterwards.
-	work := t.Miter
-	if !t.Config.NoSynth {
-		work = synth.Compress(work)
-	}
-	subs := miter.Split(work)
-	results := make([]SubResult, len(subs))
+func (b *countingBackend) Execute(ctx context.Context, req *Request) ([]TaskResult, error) {
+	results := make([]TaskResult, len(req.Tasks))
 
-	// One shared component-count cache for the whole run: the sub-miters
-	// embed the same two circuit copies and subtractor, so canonical
-	// residual components recur across outputs and a count solved inside
-	// one sub-miter is reused by the rest. Owner tags (index+1) let the
-	// cache distinguish cross-sub-miter hits from same-solver hits.
+	// One shared component-count cache for the whole session: the tasks
+	// embed the same two circuit copies and subtractor — across every
+	// requested metric — so canonical residual components recur and a
+	// count solved inside one task is reused by the rest. Owner tags
+	// (index+1) let the cache distinguish cross-task hits from
+	// same-solver hits.
 	var cache *counter.Cache
-	if t.Config.SharedCache && !t.Config.DisableCache {
+	if req.Config.SharedCache && !req.Config.DisableCache {
 		cache = counter.NewCache(0, 0)
 	}
 
-	workers := t.Config.Workers
+	workers := req.Config.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(subs) {
-		workers = len(subs)
+	if workers > len(req.Tasks) {
+		workers = len(req.Tasks)
 	}
 	if workers < 1 {
 		workers = 1
 	}
 
-	// Backend span: parents every sub-miter span (and, through the
+	// Backend span: parents every sub_miter span (and, through the
 	// context, the counter's component/cache/sim_decision events).
 	tr := obs.Active()
 	if tr != nil {
 		beSpan := tr.StartSpan(obs.SpanFrom(ctx), "backend", obs.Fields{
-			"backend": b.name, "metric": t.Metric,
-			"subs": len(subs), "workers": workers,
+			"backend": b.name, "session": req.Session,
+			"tasks": len(req.Tasks), "workers": workers,
 		})
 		ctx = obs.WithSpan(ctx, beSpan)
 		defer tr.EndSpan(beSpan, "backend", nil)
 	}
 
-	// The pool: workers claim sub-miter indexes from an atomic cursor.
-	// The first error cancels the group's context, and every in-flight
+	// The pool: workers claim task indexes from an atomic cursor. The
+	// first error cancels the group's context, and every in-flight
 	// solver notices within one poll interval.
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -97,7 +87,7 @@ func (b *countingBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) 
 		firstErr error
 		errOnce  sync.Once
 		progMu   sync.Mutex
-		doneN    int // completed sub-miters, guarded by progMu
+		doneN    int // completed tasks, guarded by progMu
 		wg       sync.WaitGroup
 	)
 	cursor.Store(-1)
@@ -105,25 +95,25 @@ func (b *countingBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) 
 		defer wg.Done()
 		for {
 			j := int(cursor.Add(1))
-			if j >= len(subs) || gctx.Err() != nil {
+			if j >= len(req.Tasks) || gctx.Err() != nil {
 				return
 			}
-			sr, err := b.solveSub(gctx, work, subs[j], j, t.Weights[j], t.Config, cache)
-			results[j] = sr
+			tres, err := b.solveTask(gctx, req, j, cache)
+			results[j] = tres
 			if err != nil {
 				errOnce.Do(func() { firstErr = err })
 				cancel()
 				return
 			}
-			if t.Progress != nil {
+			if req.Progress != nil {
 				progMu.Lock()
 				doneN++
-				t.Progress(ProgressEvent{
-					Metric: t.Metric, Backend: b.name,
-					Index: j, Output: sr.Output,
-					Count: sr.Count, Weight: sr.Weight,
-					Done: doneN, Total: len(subs),
-					Runtime: sr.Runtime, Stats: sr.Stats, Trivial: sr.Trivial,
+				req.Progress(TaskEvent{
+					Backend: b.name,
+					Index:   j, Label: req.Tasks[j].Label,
+					Count: tres.Count,
+					Done:  doneN, Total: len(req.Tasks),
+					Runtime: tres.Runtime, Stats: tres.Stats, Trivial: tres.Trivial,
 				})
 				progMu.Unlock()
 			}
@@ -138,52 +128,41 @@ func (b *countingBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) 
 		return nil, firstErr
 	}
 	// A worker can also stop on the parent context without recording an
-	// error (it observed gctx.Err() between sub-miters).
+	// error (it observed gctx.Err() between tasks).
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-
-	out := &Outcome{Count: new(big.Int), Subs: results}
-	var weighted big.Int
-	for i := range results {
-		weighted.Mul(results[i].Count, results[i].Weight)
-		out.Count.Add(out.Count, &weighted)
-	}
-	return out, nil
+	return results, nil
 }
 
-// solveSub runs Phase 1 + Phase 2 on one single-output sub-miter. The
-// sub_miter trace span and the per-sub-miter metrics cover every exit
-// path (trivial, encode error, counter error, success).
-func (b *countingBackend) solveSub(ctx context.Context, m, sub *circuit.Circuit, j int, weight *big.Int, cfg Config, cache *counter.Cache) (sr SubResult, err error) {
-	subStart := time.Now()
-	sr = SubResult{
-		Output:      m.OutputName(j),
-		Count:       new(big.Int),
-		Weight:      weight,
-		NodesBefore: sub.NumGates(),
-	}
+// solveTask runs Phase 2 on one prepared single-output sub-miter. The
+// sub_miter trace span and the per-task metrics cover every exit path
+// (trivial, encode error, counter error, success).
+func (b *countingBackend) solveTask(ctx context.Context, req *Request, j int, cache *counter.Cache) (res TaskResult, err error) {
+	t := &req.Tasks[j]
+	start := time.Now()
+	res = TaskResult{Count: new(big.Int)}
 	tr := obs.Active()
 	var span obs.SpanID
 	if tr != nil {
 		span = tr.StartSpan(obs.SpanFrom(ctx), "sub_miter", obs.Fields{
-			"backend": b.name, "index": j, "output": sr.Output,
-			"nodes_before": sr.NodesBefore,
+			"backend": b.name, "index": j, "output": t.Label,
+			"nodes_before": t.NodesBefore,
 		})
 		ctx = obs.WithSpan(ctx, span)
 	}
 	defer func() {
-		sr.Runtime = time.Since(subStart)
+		res.Runtime = time.Since(start)
 		mSubMiters.Inc()
-		if sr.Trivial {
+		if res.Trivial {
 			mSubTrivial.Inc()
 		}
-		hSubSeconds.Observe(sr.Runtime.Seconds())
+		hSubSeconds.Observe(res.Runtime.Seconds())
 		if tr != nil {
 			f := obs.Fields{
-				"index": j, "output": sr.Output,
-				"nodes_after": sr.NodesAfter, "trivial": sr.Trivial,
-				"count": sr.Count.String(), "stats": sr.Stats,
+				"index": j, "output": t.Label,
+				"nodes_after": t.NodesAfter, "trivial": res.Trivial,
+				"count": res.Count.String(), "stats": res.Stats,
 			}
 			if err != nil {
 				f["error"] = err.Error()
@@ -191,55 +170,57 @@ func (b *countingBackend) solveSub(ctx context.Context, m, sub *circuit.Circuit,
 			tr.EndSpan(span, "sub_miter", f)
 		}
 	}()
-	if !cfg.NoSynth {
-		sub = synth.Compress(sub)
+	if t.NodesBefore > 0 {
+		hSynthReduce.Observe(float64(t.NodesAfter) / float64(t.NodesBefore))
 	}
-	sr.NodesAfter = sub.NumGates()
-	if sr.NodesBefore > 0 {
-		hSynthReduce.Observe(float64(sr.NodesAfter) / float64(sr.NodesBefore))
-	}
-	totalInputs := m.NumInputs()
+	sub := t.Sub
+	totalInputs := req.Miter.NumInputs()
 	// Trivial outcomes after constant propagation.
 	out := sub.Outputs[0]
+	nd := &sub.Nodes[out]
 	switch {
 	case out == 0:
-		sr.Trivial = true
-	case sub.Nodes[out].Kind == circuit.Not && sub.Nodes[out].Fanins[0] == 0:
-		sr.Count.Lsh(big.NewInt(1), uint(totalInputs))
-		sr.Trivial = true
-	case sub.Nodes[out].Kind == circuit.Input:
+		res.Trivial = true
+	case nd.Kind == circuit.Not && nd.Fanins[0] == 0:
+		res.Count.Lsh(big.NewInt(1), uint(totalInputs))
+		res.Trivial = true
+	case nd.Kind == circuit.Input:
 		// Output is a bare input: exactly half the patterns.
-		sr.Count.Lsh(big.NewInt(1), uint(totalInputs-1))
-		sr.Trivial = true
+		res.Count.Lsh(big.NewInt(1), uint(totalInputs-1))
+		res.Trivial = true
+	case nd.Kind == circuit.Not && sub.Nodes[nd.Fanins[0]].Kind == circuit.Input:
+		// Output is a negated input: also exactly half the patterns.
+		res.Count.Lsh(big.NewInt(1), uint(totalInputs-1))
+		res.Trivial = true
 	default:
 		var f *cnf.Formula
 		f, err = cnf.Encode(sub)
 		if err != nil {
-			return sr, err
+			return res, err
 		}
 		s := counter.New(f, counter.Config{
 			EnableSim:       b.enableSim,
-			Alpha:           cfg.Alpha,
-			MaxSimVars:      cfg.MaxSimVars,
-			MinSimGates:     cfg.MinSimGates,
-			DisableCache:    cfg.DisableCache,
-			DisableIBCP:     cfg.DisableIBCP,
-			DisableLearning: cfg.DisableLearning,
+			Alpha:           req.Config.Alpha,
+			MaxSimVars:      req.Config.MaxSimVars,
+			MinSimGates:     req.Config.MinSimGates,
+			DisableCache:    req.Config.DisableCache,
+			DisableIBCP:     req.Config.DisableIBCP,
+			DisableLearning: req.Config.DisableLearning,
 			Cache:           cache,
 			CacheOwner:      int32(j) + 1,
 		})
 		var cnt *big.Int
 		cnt, err = s.CountCtx(ctx)
-		sr.Stats = s.Stats()
+		res.Stats = s.Stats()
 		if err != nil {
 			// Propagate verbatim: context errors, encode errors and any
 			// future counter failure all keep their identity (the old
 			// flow conflated everything into a timeout).
-			return sr, err
+			return res, err
 		}
 		// Scale by inputs outside the encoded cone.
 		extra := totalInputs - f.NumEncodedInputs()
-		sr.Count.Lsh(cnt, uint(extra))
+		res.Count.Lsh(cnt, uint(extra))
 	}
-	return sr, nil
+	return res, nil
 }

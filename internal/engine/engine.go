@@ -1,9 +1,11 @@
 // Package engine is the pluggable-backend seam of the verification
-// stack. A Backend turns one deviation miter plus per-output weights
-// into a weighted model count; the four built-in backends wrap the
-// repository's existing flows (the simulation-enhanced counter, the
-// plain DPLL counter, exhaustive enumeration, and the prior-art ROBDD
-// flow) behind one interface, registered by name in a small registry.
+// stack. A Backend executes a verification session: a list of prepared
+// single-output counting tasks (built and deduplicated by the plan
+// layer, internal/plan) plus the combined session miter the tasks were
+// cut from. The four built-in backends wrap the repository's existing
+// flows (the simulation-enhanced counter, the plain DPLL counter,
+// exhaustive enumeration, and the prior-art ROBDD flow) behind one
+// interface, registered by name in a small registry.
 //
 // internal/core resolves its Options.Method through this registry
 // instead of a hard-coded switch, so new engines (sharded counting,
@@ -35,7 +37,9 @@ var ErrTooLarge = errors.New("engine: input space too large for enumeration")
 // run. It mirrors core.Options minus the method selection (which picks
 // the backend) and the time limit (which arrives as a context deadline).
 type Config struct {
-	// NoSynth skips the per-sub-miter synthesis (compress) step.
+	// NoSynth skips the synthesis (compress) step in backends that
+	// synthesize their own working copy (the bdd backend); the plan
+	// layer honours the same flag when preparing task sub-miters.
 	NoSynth bool
 	// Alpha overrides the density-score scaling factor (default 2).
 	Alpha float64
@@ -46,11 +50,12 @@ type Config struct {
 	MinSimGates int
 	// DisableCache turns off component caching (ablation).
 	DisableCache bool
-	// SharedCache shares one component-count cache across all sub-miter
-	// solvers of a run (the sub-miters of one miter share both circuit
+	// SharedCache shares one component-count cache across all task
+	// solvers of a session (the tasks of one session share both circuit
 	// copies plus the subtractor, so residual components recur across
-	// outputs). Counts are bit-identical either way; sharing only trades
-	// memory for cross-sub-miter hits. Ignored when DisableCache is set.
+	// tasks — and across metrics). Counts are bit-identical either way;
+	// sharing only trades memory for cross-task hits. Ignored when
+	// DisableCache is set.
 	SharedCache bool
 	// DisableIBCP turns off failed-literal probing (ablation).
 	DisableIBCP bool
@@ -59,8 +64,8 @@ type Config struct {
 	// BDDNodeLimit caps the decision-diagram size for the bdd backend
 	// (default 1<<22 nodes).
 	BDDNodeLimit int
-	// Workers bounds the number of sub-miters solved concurrently by
-	// backends that fan out (the counting backends). 0 means
+	// Workers bounds the number of tasks solved concurrently by backends
+	// that fan out (the counting backends). 0 means
 	// runtime.GOMAXPROCS(0); 1 forces sequential solving.
 	Workers int
 	// SimWorkers bounds the goroutines the enum backend's compiled
@@ -70,72 +75,87 @@ type Config struct {
 	SimWorkers int
 }
 
-// Task is one verification job: a deviation miter whose weighted
-// one-count is the metric numerator sum_j weights[j] * #SAT(output_j).
-type Task struct {
-	// Metric names the job in progress events ("ER", "MED", ...).
-	Metric string
-	// Miter is the deviation miter (validated, one weight per output).
+// CountTask is one single-output weighted-counting job of a session:
+// #SAT over the task's sub-miter, scaled to the full input space of the
+// session miter. Several metric outputs may map to one task when their
+// deviation bits are structurally identical (the plan layer's dedup).
+type CountTask struct {
+	// Sub is the task's single-output sub-miter: the logic cone of the
+	// session miter's matching output, already synthesized by the plan
+	// layer (unless the session ran with NoSynth). Counting backends
+	// solve it directly; enumeration and BDD backends work on the
+	// session miter instead.
+	Sub *circuit.Circuit
+	// Label names the task in spans and progress events; by convention
+	// "<metric>/<output>" of the first metric output that produced it.
+	Label string
+	// NodesBefore and NodesAfter record the task's gate count before and
+	// after the plan layer's synthesis pass.
+	NodesBefore int
+	NodesAfter  int
+}
+
+// Request is one verification session handed to a backend: the combined
+// session miter whose i-th output computes the i-th task's bit, plus the
+// prepared task list. Backends must not mutate the request.
+type Request struct {
+	// Session labels the run in spans ("ER+MED+MHD", a single metric
+	// name, or a custom miter's name).
+	Session string
+	// Miter is the combined session miter: one primary output per task,
+	// in task order, over the full shared input set. Enumeration
+	// simulates it in one pass; the bdd backend builds its diagrams from
+	// it; counting backends use the per-task sub-miters instead and only
+	// read its input count.
 	Miter *circuit.Circuit
-	// Weights holds the per-output weights of the metric sum.
-	Weights []*big.Int
+	// Tasks lists the session's deduplicated counting tasks.
+	Tasks []CountTask
 	// Config tunes the backend.
 	Config Config
-	// Progress, when non-nil, receives one event per completed
-	// sub-miter. Events may be emitted out of output order (concurrent
-	// solving) but calls are serialized; the callback must not block.
-	Progress ProgressFunc
+	// Progress, when non-nil, receives one event per completed task.
+	// Events may arrive out of task order (concurrent solving) but calls
+	// are serialized; the callback must not block.
+	Progress TaskProgressFunc
 }
 
-// SubResult reports one sub-miter's #SAT problem. Count is always
-// non-nil, including trivial and error paths, so reporting layers never
-// nil-check.
-type SubResult struct {
-	Output      string
-	Count       *big.Int // patterns (over all 2^I inputs) setting the bit
-	Weight      *big.Int
-	NodesBefore int
-	NodesAfter  int // after synthesis
-	Runtime     time.Duration
-	Stats       counter.Stats
-	Trivial     bool // solved by constant propagation alone
+// TaskResult reports one task's count. Count is always non-nil,
+// including trivial and error paths, so reporting layers never
+// nil-check; it is the number of input patterns (over the full 2^I
+// space of the session miter) setting the task's bit.
+type TaskResult struct {
+	Count   *big.Int
+	Runtime time.Duration
+	Stats   counter.Stats
+	Trivial bool // solved by constant propagation alone
 }
 
-// Outcome is a backend's result: the weighted total count plus the
-// per-output sub-results in output order (deterministic regardless of
-// worker count).
-type Outcome struct {
-	Count *big.Int
-	Subs  []SubResult
-}
-
-// ProgressEvent reports the completion of one sub-miter.
-type ProgressEvent struct {
-	Metric  string
+// TaskEvent reports the completion of one task.
+type TaskEvent struct {
 	Backend string
-	// Index is the sub-miter's output index; Output its name.
-	Index  int
-	Output string
-	Count  *big.Int
-	Weight *big.Int
-	// Done counts completed sub-miters so far (including this one);
-	// Total is the number of sub-miters of the task.
+	// Index is the task's index in Request.Tasks; Label its name.
+	Index int
+	Label string
+	Count *big.Int
+	// Done counts completed tasks so far (including this one); Total is
+	// the number of tasks of the session.
 	Done, Total int
 	Runtime     time.Duration
 	Stats       counter.Stats
 	Trivial     bool
 }
 
-// ProgressFunc observes per-sub-miter completion events.
-type ProgressFunc func(ProgressEvent)
+// TaskProgressFunc observes per-task completion events.
+type TaskProgressFunc func(TaskEvent)
 
-// Backend solves verification tasks. Implementations must be safe for
-// concurrent use by multiple goroutines (they are registered once and
-// shared) and must honour ctx cancellation in their long-running loops.
+// Backend executes verification sessions. Implementations must be safe
+// for concurrent use by multiple goroutines (they are registered once
+// and shared) and must honour ctx cancellation in their long-running
+// loops.
 type Backend interface {
 	// Name is the registry key ("vacsem", "dpll", "enum", "bdd", ...).
 	Name() string
-	// Solve computes the task's weighted count. On error the partial
-	// outcome is discarded; ctx errors are returned verbatim.
-	Solve(ctx context.Context, t *Task) (*Outcome, error)
+	// Execute computes every task's count, indexed like Request.Tasks.
+	// On error the partial results are discarded; ctx errors are
+	// returned verbatim.
+	Execute(ctx context.Context, req *Request) ([]TaskResult, error)
 }

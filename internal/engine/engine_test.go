@@ -1,26 +1,26 @@
-package engine
+package engine_test
 
 import (
 	"context"
-	"math/big"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"vacsem/internal/als"
+	"vacsem/internal/engine"
 	"vacsem/internal/gen"
-	"vacsem/internal/miter"
+	"vacsem/internal/plan"
 )
 
 func TestRegistryBuiltins(t *testing.T) {
 	want := []string{"bdd", "dpll", "enum", "vacsem"}
-	got := Names()
+	got := engine.Names()
 	if len(got) < len(want) {
 		t.Fatalf("Names() = %v, want at least %v", got, want)
 	}
 	for _, name := range want {
-		b, err := Lookup(name)
+		b, err := engine.Lookup(name)
 		if err != nil {
 			t.Fatalf("Lookup(%q): %v", name, err)
 		}
@@ -31,148 +31,145 @@ func TestRegistryBuiltins(t *testing.T) {
 }
 
 func TestLookupUnknown(t *testing.T) {
-	if _, err := Lookup("no-such-backend"); err == nil {
+	if _, err := engine.Lookup("no-such-backend"); err == nil {
 		t.Fatal("Lookup of unknown backend succeeded")
 	}
 }
 
-// medTask builds the MED task of a lower-OR adder against the exact
-// ripple-carry adder: multi-output, so the counting backends fan out.
-func medTask(t *testing.T, width int) *Task {
+// medRequest compiles the MED session of a lower-OR adder against the
+// exact ripple-carry adder: multi-task, so the counting backends fan
+// out. The request is built by the plan layer, exactly as core does.
+func medRequest(t *testing.T, width int) (*plan.Plan, *engine.Request) {
 	t.Helper()
 	exact := gen.RippleCarryAdder(width)
 	approx := als.LowerORAdder(width, 3)
-	m, err := miter.MED(exact, approx)
+	p, err := plan.Build(context.Background(), exact, approx,
+		[]plan.Spec{{Kind: plan.MED}}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	weights := make([]*big.Int, m.NumOutputs())
-	for i := range weights {
-		weights[i] = new(big.Int).Lsh(big.NewInt(1), uint(i))
+	return p, &engine.Request{
+		Session: p.Session, Miter: p.Exec, Tasks: p.Tasks,
 	}
-	return &Task{Metric: "MED", Miter: m, Weights: weights}
 }
 
 func TestBackendsAgree(t *testing.T) {
-	task := medTask(t, 6) // 12 inputs: enum is exact ground truth
-	var want *big.Int
+	_, req := medRequest(t, 6) // 12 inputs: enum is exact ground truth
+	var want []engine.TaskResult
 	for _, name := range []string{"enum", "vacsem", "dpll", "bdd"} {
-		b, err := Lookup(name)
+		b, err := engine.Lookup(name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := b.Solve(context.Background(), task)
+		results, err := b.Execute(context.Background(), req)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
+		if len(results) != len(req.Tasks) {
+			t.Fatalf("%s: %d results for %d tasks", name, len(results), len(req.Tasks))
+		}
 		if want == nil {
-			want = out.Count
+			want = results
 			continue
 		}
-		if out.Count.Cmp(want) != 0 {
-			t.Errorf("%s: count = %v, want %v", name, out.Count, want)
-		}
-		if len(out.Subs) != len(task.Weights) {
-			t.Errorf("%s: %d subs, want %d", name, len(out.Subs), len(task.Weights))
+		for j := range results {
+			if results[j].Count.Cmp(want[j].Count) != 0 {
+				t.Errorf("%s: task %d (%s) count = %v, want %v",
+					name, j, req.Tasks[j].Label, results[j].Count, want[j].Count)
+			}
 		}
 	}
 }
 
 func TestWorkersDeterministic(t *testing.T) {
-	b, err := Lookup("vacsem")
+	b, err := engine.Lookup("vacsem")
 	if err != nil {
 		t.Fatal(err)
 	}
-	task := medTask(t, 12)
-	task.Config.Workers = 1
-	seq, err := b.Solve(context.Background(), task)
+	_, req := medRequest(t, 12)
+	req.Config.Workers = 1
+	seq, err := b.Execute(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	task.Config.Workers = 4
-	par, err := b.Solve(context.Background(), task)
+	req.Config.Workers = 4
+	par, err := b.Execute(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seq.Count.Cmp(par.Count) != 0 {
-		t.Errorf("parallel count %v != sequential %v", par.Count, seq.Count)
+	if len(seq) != len(par) {
+		t.Fatalf("result count mismatch: %d vs %d", len(seq), len(par))
 	}
-	if len(seq.Subs) != len(par.Subs) {
-		t.Fatalf("sub count mismatch: %d vs %d", len(seq.Subs), len(par.Subs))
-	}
-	for i := range seq.Subs {
-		if seq.Subs[i].Output != par.Subs[i].Output {
-			t.Errorf("sub %d: output order %q vs %q", i, par.Subs[i].Output, seq.Subs[i].Output)
-		}
-		if seq.Subs[i].Count.Cmp(par.Subs[i].Count) != 0 {
-			t.Errorf("sub %d (%s): count %v vs %v", i,
-				seq.Subs[i].Output, par.Subs[i].Count, seq.Subs[i].Count)
+	for j := range seq {
+		if seq[j].Count.Cmp(par[j].Count) != 0 {
+			t.Errorf("task %d (%s): count %v vs %v", j,
+				req.Tasks[j].Label, par[j].Count, seq[j].Count)
 		}
 	}
 }
 
 func TestProgressEvents(t *testing.T) {
-	b, err := Lookup("vacsem")
+	b, err := engine.Lookup("vacsem")
 	if err != nil {
 		t.Fatal(err)
 	}
-	task := medTask(t, 8)
-	task.Config.Workers = 4
+	_, req := medRequest(t, 8)
+	req.Config.Workers = 4
 	var (
 		mu     sync.Mutex
-		events []ProgressEvent
+		events []engine.TaskEvent
 	)
-	task.Progress = func(ev ProgressEvent) {
+	req.Progress = func(ev engine.TaskEvent) {
 		mu.Lock()
 		events = append(events, ev)
 		mu.Unlock()
 	}
-	out, err := b.Solve(context.Background(), task)
+	results, err := b.Execute(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(events) != len(out.Subs) {
-		t.Fatalf("%d progress events for %d subs", len(events), len(out.Subs))
+	if len(events) != len(results) {
+		t.Fatalf("%d progress events for %d tasks", len(events), len(results))
 	}
 	seenIdx := make(map[int]bool)
 	for i, ev := range events {
 		if ev.Done != i+1 {
 			t.Errorf("event %d: Done = %d, want %d", i, ev.Done, i+1)
 		}
-		if ev.Total != len(out.Subs) {
-			t.Errorf("event %d: Total = %d, want %d", i, ev.Total, len(out.Subs))
+		if ev.Total != len(req.Tasks) {
+			t.Errorf("event %d: Total = %d, want %d", i, ev.Total, len(req.Tasks))
 		}
 		if seenIdx[ev.Index] {
 			t.Errorf("index %d reported twice", ev.Index)
 		}
 		seenIdx[ev.Index] = true
-		if ev.Count == nil || ev.Count.Cmp(out.Subs[ev.Index].Count) != 0 {
+		if ev.Count == nil || ev.Count.Cmp(results[ev.Index].Count) != 0 {
 			t.Errorf("event for index %d: count %v, want %v",
-				ev.Index, ev.Count, out.Subs[ev.Index].Count)
+				ev.Index, ev.Count, results[ev.Index].Count)
 		}
-		if ev.Backend != "vacsem" || ev.Metric != "MED" {
-			t.Errorf("event %d: backend/metric = %q/%q", i, ev.Backend, ev.Metric)
+		if ev.Backend != "vacsem" || ev.Label != req.Tasks[ev.Index].Label {
+			t.Errorf("event %d: backend/label = %q/%q", i, ev.Backend, ev.Label)
 		}
 	}
 }
 
 // TestProgressSerialized pins the documented callback contract under
-// Workers > 1: calls never overlap, and every event carries the
-// sub-miter's own runtime and counter statistics (matching what the
-// outcome later reports for that index).
+// Workers > 1: calls never overlap, and every event carries the task's
+// own runtime and counter statistics (matching what the results later
+// report for that index).
 func TestProgressSerialized(t *testing.T) {
-	b, err := Lookup("vacsem")
+	b, err := engine.Lookup("vacsem")
 	if err != nil {
 		t.Fatal(err)
 	}
-	task := medTask(t, 8)
-	task.Config.Workers = 4
+	_, req := medRequest(t, 8)
+	req.Config.Workers = 4
 	var (
 		inside     atomic.Int32
 		overlapped atomic.Bool
-		events     = make(map[int]ProgressEvent) // unguarded on purpose: -race flags overlap too
+		events     = make(map[int]engine.TaskEvent) // unguarded on purpose: -race flags overlap too
 	)
-	task.Progress = func(ev ProgressEvent) {
+	req.Progress = func(ev engine.TaskEvent) {
 		if inside.Add(1) != 1 {
 			overlapped.Store(true)
 		}
@@ -180,62 +177,59 @@ func TestProgressSerialized(t *testing.T) {
 		events[ev.Index] = ev
 		inside.Add(-1)
 	}
-	out, err := b.Solve(context.Background(), task)
+	results, err := b.Execute(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if overlapped.Load() {
 		t.Fatal("progress callback entered concurrently; contract says calls are serialized")
 	}
-	if len(events) != len(out.Subs) {
-		t.Fatalf("%d progress events for %d subs", len(events), len(out.Subs))
+	if len(events) != len(results) {
+		t.Fatalf("%d progress events for %d tasks", len(events), len(results))
 	}
 	for idx, ev := range events {
-		sub := out.Subs[idx]
-		if ev.Output != sub.Output {
-			t.Errorf("index %d: event output %q, outcome output %q", idx, ev.Output, sub.Output)
+		res := results[idx]
+		if ev.Stats != res.Stats {
+			t.Errorf("index %d: event stats %+v, result stats %+v", idx, ev.Stats, res.Stats)
 		}
-		if ev.Stats != sub.Stats {
-			t.Errorf("index %d: event stats %+v, outcome stats %+v", idx, ev.Stats, sub.Stats)
-		}
-		if ev.Runtime != sub.Runtime {
-			t.Errorf("index %d: event runtime %v, outcome runtime %v", idx, ev.Runtime, sub.Runtime)
+		if ev.Runtime != res.Runtime {
+			t.Errorf("index %d: event runtime %v, result runtime %v", idx, ev.Runtime, res.Runtime)
 		}
 		if !ev.Trivial && ev.Runtime <= 0 {
-			t.Errorf("index %d: non-trivial sub-miter reported runtime %v", idx, ev.Runtime)
+			t.Errorf("index %d: non-trivial task reported runtime %v", idx, ev.Runtime)
 		}
 	}
 }
 
-func TestSubResultCountNonNil(t *testing.T) {
-	// A miter whose outputs are constant after propagation exercises the
-	// trivial paths; Count must still be non-nil everywhere.
+func TestTaskResultCountNonNil(t *testing.T) {
+	// Identical circuits: every deviation bit propagates to constant 0,
+	// and the plan dedups them into a single trivial task. Count must
+	// still be non-nil everywhere.
 	c := gen.RippleCarryAdder(4)
-	m, err := miter.MED(c, c.Clone())
+	p, err := plan.Build(context.Background(), c, c.Clone(),
+		[]plan.Spec{{Kind: plan.MED}}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	weights := make([]*big.Int, m.NumOutputs())
-	for i := range weights {
-		weights[i] = big.NewInt(1)
+	if len(p.Tasks) != 1 {
+		t.Errorf("identical circuits compiled to %d tasks, want 1 (all bits const0)", len(p.Tasks))
 	}
+	req := &engine.Request{Session: p.Session, Miter: p.Exec, Tasks: p.Tasks}
 	for _, name := range []string{"vacsem", "dpll", "enum", "bdd"} {
-		b, err := Lookup(name)
+		b, err := engine.Lookup(name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := b.Solve(context.Background(), &Task{
-			Metric: "MED", Miter: m, Weights: weights,
-		})
+		results, err := b.Execute(context.Background(), req)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if out.Count.Sign() != 0 {
-			t.Errorf("%s: identical circuits count = %v, want 0", name, out.Count)
-		}
-		for i := range out.Subs {
-			if out.Subs[i].Count == nil {
-				t.Errorf("%s: sub %d has nil Count", name, i)
+		for j := range results {
+			if results[j].Count == nil {
+				t.Errorf("%s: task %d has nil Count", name, j)
+			} else if results[j].Count.Sign() != 0 {
+				t.Errorf("%s: identical circuits task %d count = %v, want 0",
+					name, j, results[j].Count)
 			}
 		}
 	}
@@ -244,13 +238,13 @@ func TestSubResultCountNonNil(t *testing.T) {
 func TestCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	task := medTask(t, 10)
+	_, req := medRequest(t, 10)
 	for _, name := range []string{"vacsem", "enum", "bdd"} {
-		b, err := Lookup(name)
+		b, err := engine.Lookup(name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := b.Solve(ctx, task); err != context.Canceled {
+		if _, err := b.Execute(ctx, req); err != context.Canceled {
 			t.Errorf("%s with cancelled ctx: err = %v, want context.Canceled", name, err)
 		}
 	}

@@ -10,71 +10,66 @@ import (
 )
 
 // enumBackend verifies by exhaustive word-parallel logic simulation of
-// the miter over all 2^I input patterns — the paper's enumeration
-// baseline. The miter is compiled once to an instruction tape and the
-// pattern-block range split across Config.SimWorkers goroutines (<= 0:
-// GOMAXPROCS); one pass produces every output's one-count, so there is
-// no per-sub-miter fan-out. Cancellation happens inside the kernel's
-// block loop, polled per work chunk sized by tape length.
+// the session miter over all 2^I input patterns — the paper's
+// enumeration baseline. The miter is compiled once to an instruction
+// tape and the pattern-block range split across Config.SimWorkers
+// goroutines (<= 0: GOMAXPROCS); one pass produces every task's
+// one-count, so a multi-metric session costs a single sweep of the
+// shared structure instead of one sweep per metric. Cancellation
+// happens inside the kernel's block loop, polled per work chunk sized
+// by tape length.
 type enumBackend struct{}
 
 func (enumBackend) Name() string { return "enum" }
 
-func (enumBackend) Solve(ctx context.Context, t *Task) (*Outcome, error) {
-	m := t.Miter
+func (enumBackend) Execute(ctx context.Context, req *Request) ([]TaskResult, error) {
+	m := req.Miter
 	if m.NumInputs() > 62 {
 		return nil, ErrTooLarge
 	}
-	// One simulation pass covers every output, so the enumeration work
-	// lives on the backend span; the per-output sub_miter spans below
+	// One simulation pass covers every task, so the enumeration work
+	// lives on the backend span; the per-task sub_miter spans below
 	// only mark the (instant) result extraction, keeping the stream
 	// schema uniform across backends.
 	tr := obs.Active()
 	var beSpan obs.SpanID
 	if tr != nil {
 		beSpan = tr.StartSpan(obs.SpanFrom(ctx), "backend", obs.Fields{
-			"backend": "enum", "metric": t.Metric,
-			"subs": m.NumOutputs(), "inputs": m.NumInputs(),
-			"sim_workers": t.Config.SimWorkers,
+			"backend": "enum", "session": req.Session,
+			"tasks": len(req.Tasks), "inputs": m.NumInputs(),
+			"sim_workers": req.Config.SimWorkers,
 		})
 		ctx = obs.WithSpan(ctx, beSpan)
 		defer tr.EndSpan(beSpan, "backend", nil)
 	}
 	start := time.Now()
-	counts, err := sim.CountOnesPerOutputWorkers(ctx, m, t.Config.SimWorkers)
+	counts, err := sim.CountOnesPerOutputWorkers(ctx, m, req.Config.SimWorkers)
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
-	out := &Outcome{Count: new(big.Int), Subs: make([]SubResult, len(counts))}
-	var weighted big.Int
-	for j, cnt := range counts {
-		sr := SubResult{
-			Output: m.OutputName(j),
-			Count:  new(big.Int).SetUint64(cnt),
-			Weight: t.Weights[j],
-		}
-		out.Subs[j] = sr
+	results := make([]TaskResult, len(req.Tasks))
+	for j := range req.Tasks {
+		res := TaskResult{Count: new(big.Int).SetUint64(counts[j])}
+		results[j] = res
 		if tr != nil {
 			span := tr.StartSpan(beSpan, "sub_miter", obs.Fields{
-				"backend": "enum", "index": j, "output": sr.Output,
+				"backend": "enum", "index": j, "output": req.Tasks[j].Label,
 			})
 			tr.EndSpan(span, "sub_miter", obs.Fields{
-				"index": j, "output": sr.Output,
-				"count": sr.Count.String(), "stats": sr.Stats,
+				"index": j, "output": req.Tasks[j].Label,
+				"count": res.Count.String(), "stats": res.Stats,
 			})
 		}
-		weighted.Mul(sr.Count, sr.Weight)
-		out.Count.Add(out.Count, &weighted)
-		if t.Progress != nil {
-			t.Progress(ProgressEvent{
-				Metric: t.Metric, Backend: "enum",
-				Index: j, Output: sr.Output,
-				Count: sr.Count, Weight: sr.Weight,
-				Done: j + 1, Total: len(counts),
+		if req.Progress != nil {
+			req.Progress(TaskEvent{
+				Backend: "enum",
+				Index:   j, Label: req.Tasks[j].Label,
+				Count: res.Count,
+				Done:  j + 1, Total: len(req.Tasks),
 				Runtime: elapsed,
 			})
 		}
 	}
-	return out, nil
+	return results, nil
 }

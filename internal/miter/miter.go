@@ -43,9 +43,24 @@ func checkPair(exact, approx *circuit.Circuit) error {
 	return nil
 }
 
-// base instantiates both circuits over a shared set of inputs and returns
-// the miter-in-progress plus the output node ids of each side.
-func base(exact, approx *circuit.Circuit, name string) (*circuit.Circuit, []int, []int) {
+// Base is the metric-independent part of every approximation miter: both
+// circuit copies instantiated over one shared set of inputs. YE and YA
+// hold the node ids of the exact and approximate output words; metric
+// heads (ERHead, HDHead, MEDHead, ThresholdHead) build deviation logic
+// on top of them. The circuit carries no primary outputs — heads and
+// callers attach those.
+type Base struct {
+	Circ   *circuit.Circuit
+	YE, YA []int
+}
+
+// NewBase validates the pair and instantiates both circuits over a shared
+// set of inputs — the part of every miter construction that does not
+// depend on the metric.
+func NewBase(exact, approx *circuit.Circuit, name string) (*Base, error) {
+	if err := checkPair(exact, approx); err != nil {
+		return nil, err
+	}
 	m := circuit.New(name)
 	inputs := make([]int, exact.NumInputs())
 	for i := range inputs {
@@ -57,38 +72,99 @@ func base(exact, approx *circuit.Circuit, name string) (*circuit.Circuit, []int,
 	}
 	yE := circuit.Append(m, exact, inputs)
 	yA := circuit.Append(m, approx, inputs)
-	return m, yE, yA
+	return &Base{Circ: m, YE: yE, YA: yA}, nil
+}
+
+// Compress runs the synthesis pass over the base once, before any metric
+// head is attached, so a session verifying several metrics shares one
+// compression of the two circuit copies. The output words are anchored
+// as temporary primary outputs through the pass (synthesis preserves
+// primary-output functions) and read back afterwards; the returned base
+// again carries no outputs.
+func (b *Base) Compress(compress func(*circuit.Circuit) *circuit.Circuit) *Base {
+	tmp := b.Circ.Clone()
+	anchors := make([]int, 0, len(b.YE)+len(b.YA))
+	anchors = append(anchors, b.YE...)
+	anchors = append(anchors, b.YA...)
+	tmp.SetOutputs(anchors...)
+	ct := compress(tmp)
+	nb := &Base{
+		Circ: ct,
+		YE:   append([]int(nil), ct.Outputs[:len(b.YE)]...),
+		YA:   append([]int(nil), ct.Outputs[len(b.YE):]...),
+	}
+	ct.ClearOutputs()
+	return nb
+}
+
+// ERHead builds the error-rate deviation function on a base: one node
+// that is 1 exactly when the two output words differ anywhere.
+func ERHead(m *circuit.Circuit, yE, yA []int) int {
+	diffs := make([]int, len(yE))
+	for j := range yE {
+		diffs[j] = m.AddGate(circuit.Xor, yE[j], yA[j])
+	}
+	return orTree(m, diffs)
+}
+
+// HDHead builds the bitwise-difference deviation bits: node j is 1 when
+// the words disagree on bit j.
+func HDHead(m *circuit.Circuit, yE, yA []int) []int {
+	diffs := make([]int, len(yE))
+	for j := range yE {
+		diffs[j] = m.AddGate(circuit.Xor, yE[j], yA[j])
+	}
+	return diffs
+}
+
+// MEDHead builds the absolute-difference word |int(yE) - int(yA)|,
+// least significant bit first; bit j has weight 2^j in the MED sum.
+func MEDHead(m *circuit.Circuit, yE, yA []int) []int {
+	return absDiff(m, yE, yA)
+}
+
+// ThresholdHead builds the comparator bit |int(yE) - int(yA)| > t.
+// The threshold must be non-negative (see CheckThreshold).
+func ThresholdHead(m *circuit.Circuit, yE, yA []int, t *big.Int) int {
+	abs := absDiff(m, yE, yA)
+	// abs > t  <=>  greater-than comparator against the constant t.
+	return gtConst(m, abs, t)
+}
+
+// CheckThreshold validates a deviation threshold for ThresholdHead.
+func CheckThreshold(t *big.Int) error {
+	if t == nil {
+		return fmt.Errorf("miter: nil threshold")
+	}
+	if t.Sign() < 0 {
+		return fmt.Errorf("miter: negative threshold %v", t)
+	}
+	return nil
 }
 
 // ER builds the error-rate miter: a single output that is 1 exactly when
 // the two circuits disagree on at least one output bit.
 func ER(exact, approx *circuit.Circuit) (*circuit.Circuit, error) {
-	if err := checkPair(exact, approx); err != nil {
+	b, err := NewBase(exact, approx, exact.Name+"_er_miter")
+	if err != nil {
 		return nil, err
 	}
-	m, yE, yA := base(exact, approx, exact.Name+"_er_miter")
-	diffs := make([]int, len(yE))
-	for j := range yE {
-		diffs[j] = m.AddGate(circuit.Xor, yE[j], yA[j])
-	}
-	out := orTree(m, diffs)
-	m.AddOutput(out, "f1")
-	return m, nil
+	b.Circ.AddOutput(ERHead(b.Circ, b.YE, b.YA), "f1")
+	return b.Circ, nil
 }
 
 // HD builds the Hamming-distance miter: output j is 1 when the circuits
 // disagree on output bit j. The mean Hamming distance is the sum of the
 // per-output signal probabilities.
 func HD(exact, approx *circuit.Circuit) (*circuit.Circuit, error) {
-	if err := checkPair(exact, approx); err != nil {
+	b, err := NewBase(exact, approx, exact.Name+"_hd_miter")
+	if err != nil {
 		return nil, err
 	}
-	m, yE, yA := base(exact, approx, exact.Name+"_hd_miter")
-	for j := range yE {
-		d := m.AddGate(circuit.Xor, yE[j], yA[j])
-		m.AddOutput(d, fmt.Sprintf("d%d", j))
+	for j, d := range HDHead(b.Circ, b.YE, b.YA) {
+		b.Circ.AddOutput(d, fmt.Sprintf("d%d", j))
 	}
-	return m, nil
+	return b.Circ, nil
 }
 
 // MED builds the mean-error-distance miter. Outputs f_1 .. f_O encode
@@ -99,33 +175,29 @@ func HD(exact, approx *circuit.Circuit) (*circuit.Circuit, error) {
 // over O+1 bits and conditionally negates on the sign bit, using ripple
 // full adders.
 func MED(exact, approx *circuit.Circuit) (*circuit.Circuit, error) {
-	if err := checkPair(exact, approx); err != nil {
+	b, err := NewBase(exact, approx, exact.Name+"_med_miter")
+	if err != nil {
 		return nil, err
 	}
-	m, yE, yA := base(exact, approx, exact.Name+"_med_miter")
-	abs := absDiff(m, yE, yA)
-	for j, id := range abs {
-		m.AddOutput(id, fmt.Sprintf("f%d", j+1))
+	for j, id := range MEDHead(b.Circ, b.YE, b.YA) {
+		b.Circ.AddOutput(id, fmt.Sprintf("f%d", j+1))
 	}
-	return m, nil
+	return b.Circ, nil
 }
 
 // Threshold builds a single-output miter that is 1 exactly when
 // |int(y) - int(y')| > t. Varying t yields the cumulative distribution of
 // the deviation (the MACACO approach).
 func Threshold(exact, approx *circuit.Circuit, t *big.Int) (*circuit.Circuit, error) {
-	if err := checkPair(exact, approx); err != nil {
+	if err := CheckThreshold(t); err != nil {
 		return nil, err
 	}
-	if t.Sign() < 0 {
-		return nil, fmt.Errorf("miter: negative threshold %v", t)
+	b, err := NewBase(exact, approx, exact.Name+"_thr_miter")
+	if err != nil {
+		return nil, err
 	}
-	m, yE, yA := base(exact, approx, exact.Name+"_thr_miter")
-	abs := absDiff(m, yE, yA)
-	// abs > t  <=>  greater-than comparator against the constant t.
-	out := gtConst(m, abs, t)
-	m.AddOutput(out, "f1")
-	return m, nil
+	b.Circ.AddOutput(ThresholdHead(b.Circ, b.YE, b.YA, t), "f1")
+	return b.Circ, nil
 }
 
 // absDiff returns nodes encoding |int(a) - int(b)| (width = len(a)).

@@ -115,6 +115,6 @@ func WriteMetrics(w io.Writer, format string) error {
 	case "json":
 		return snap.WriteJSON(w)
 	default:
-		return fmt.Errorf("unknown -metrics format %q (want table or json)", format)
+		return fmt.Errorf("unknown -obs-metrics format %q (want table or json)", format)
 	}
 }

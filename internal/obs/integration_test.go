@@ -91,7 +91,7 @@ func TestTracedRunStatsConsistent(t *testing.T) {
 
 	evs := parseTrace(t, buf.Bytes())
 	started := map[uint64]string{0: "root"}
-	var runs, subEnds int
+	var sessions, plans, runs, subEnds int
 	var sum counter.Stats
 	for _, e := range evs {
 		if _, ok := started[e.Parent]; !ok {
@@ -100,7 +100,12 @@ func TestTracedRunStatsConsistent(t *testing.T) {
 		switch e.Ev {
 		case "span_start":
 			started[e.ID] = e.Span
-			if e.Span == "run" {
+			switch e.Span {
+			case "session":
+				sessions++
+			case "plan":
+				plans++
+			case "run":
 				runs++
 			}
 		case "span_end":
@@ -120,11 +125,21 @@ func TestTracedRunStatsConsistent(t *testing.T) {
 			}
 		}
 	}
-	if runs != 1 {
-		t.Errorf("trace has %d run spans, want 1", runs)
+	if sessions != 1 || plans != 1 || runs != 1 {
+		t.Errorf("trace has %d session / %d plan / %d run spans, want 1 each",
+			sessions, plans, runs)
 	}
-	if subEnds != len(res.Subs) {
-		t.Errorf("trace has %d sub_miter span ends, want %d", subEnds, len(res.Subs))
+	// One sub_miter span per unique counting task: bits whose task was
+	// deduplicated (Shared) produce no span of their own.
+	unique := 0
+	for _, sub := range res.Subs {
+		if !sub.Shared {
+			unique++
+		}
+	}
+	if subEnds != unique {
+		t.Errorf("trace has %d sub_miter span ends, want %d unique tasks (of %d bits)",
+			subEnds, unique, len(res.Subs))
 	}
 	if sum != res.TotalStats {
 		t.Errorf("sub_miter span stats sum %+v != Result.TotalStats %+v", sum, res.TotalStats)

@@ -1,0 +1,294 @@
+package plan_test
+
+import (
+	"context"
+	"math/big"
+	"strings"
+	"testing"
+
+	"vacsem/internal/als"
+	"vacsem/internal/engine"
+	"vacsem/internal/gen"
+	"vacsem/internal/miter"
+	"vacsem/internal/plan"
+)
+
+var allSpecs = []plan.Spec{
+	{Kind: plan.ER},
+	{Kind: plan.MED},
+	{Kind: plan.MHD},
+}
+
+func TestMetricName(t *testing.T) {
+	cases := []struct {
+		spec plan.Spec
+		want string
+	}{
+		{plan.Spec{Kind: plan.ER}, "ER"},
+		{plan.Spec{Kind: plan.MED}, "MED"},
+		{plan.Spec{Kind: plan.MHD}, "MHD"},
+		{plan.Spec{Kind: plan.ThresholdProb, Threshold: big.NewInt(3)}, "P(dev>3)"},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.MetricName(); got != tc.want {
+			t.Errorf("MetricName() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	exact := gen.RippleCarryAdder(4)
+	approx := als.LowerORAdder(4, 2)
+	ctx := context.Background()
+	if _, err := plan.Build(ctx, exact, approx,
+		[]plan.Spec{{Kind: plan.ThresholdProb}}, false); err == nil {
+		t.Error("ThresholdProb with nil threshold accepted")
+	}
+	if _, err := plan.Build(ctx, exact, approx,
+		[]plan.Spec{{Kind: plan.ThresholdProb, Threshold: big.NewInt(-1)}}, false); err == nil {
+		t.Error("ThresholdProb with negative threshold accepted")
+	}
+	if _, err := plan.Build(ctx, exact, approx, nil, false); err == nil {
+		t.Error("empty spec list accepted")
+	}
+	if _, err := plan.Build(ctx, exact, gen.RippleCarryAdder(5), allSpecs, false); err == nil {
+		t.Error("mismatched circuit pair accepted")
+	}
+}
+
+// TestPlanInvariants pins the structural contract of a compiled session:
+// every output bit maps to a valid task, every task has exactly one
+// owning bit (the first bit that produced it), the executable miter has
+// one primary output per task, and the bookkeeping counters add up.
+func TestPlanInvariants(t *testing.T) {
+	exact := gen.RippleCarryAdder(8)
+	approx := als.LowerORAdder(8, 4)
+	p, err := plan.Build(context.Background(), exact, approx, allSpecs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Session != "ER+MED+MHD" {
+		t.Errorf("Session = %q, want ER+MED+MHD", p.Session)
+	}
+	if p.TotalInputs != exact.NumInputs() {
+		t.Errorf("TotalInputs = %d, want %d", p.TotalInputs, exact.NumInputs())
+	}
+	if p.Exec.NumOutputs() != len(p.Tasks) {
+		t.Errorf("Exec has %d outputs for %d tasks", p.Exec.NumOutputs(), len(p.Tasks))
+	}
+	requested := 0
+	owners := make([]int, len(p.Tasks))
+	for mi, m := range p.Metrics {
+		if len(m.Outputs) != len(m.Weights) || len(m.Outputs) != len(m.TaskOf) || len(m.Outputs) != len(m.Owner) {
+			t.Fatalf("metric %s: ragged slices", m.Name)
+		}
+		requested += len(m.Outputs)
+		for k, ti := range m.TaskOf {
+			if ti < 0 || ti >= len(p.Tasks) {
+				t.Fatalf("metric %s bit %d: task index %d out of range", m.Name, k, ti)
+			}
+			if m.Owner[k] {
+				owners[ti]++
+			}
+			if m.Weights[k] == nil || m.Weights[k].Sign() <= 0 {
+				t.Errorf("metric %s bit %d: weight %v", m.Name, k, m.Weights[k])
+			}
+			wantLabel := m.Name + "/" + m.Outputs[k]
+			if m.Owner[k] && p.Tasks[ti].Label != wantLabel {
+				t.Errorf("task %d label = %q, want %q (owner %s bit %d)",
+					ti, p.Tasks[ti].Label, wantLabel, m.Name, k)
+			}
+		}
+		_ = mi
+	}
+	if requested != p.TasksRequested {
+		t.Errorf("TasksRequested = %d, bits counted = %d", p.TasksRequested, requested)
+	}
+	for ti, n := range owners {
+		if n != 1 {
+			t.Errorf("task %d (%s) has %d owners, want 1", ti, p.Tasks[ti].Label, n)
+		}
+	}
+	if p.BaseNodesBefore < p.BaseNodesAfter {
+		t.Errorf("synthesis grew the base miter: %d -> %d", p.BaseNodesBefore, p.BaseNodesAfter)
+	}
+}
+
+// TestDedupAcrossMetrics is the headline property of the plan layer:
+// verifying {ER, MED, MHD} in one session dedups structurally identical
+// deviation cones across metrics (MED's low-order difference bits reduce
+// to MHD's XOR bits after synthesis), so the session solves strictly
+// fewer sub-miters than the three metrics would standalone.
+func TestDedupAcrossMetrics(t *testing.T) {
+	exact := gen.RippleCarryAdder(8)
+	approx := als.LowerORAdder(8, 4)
+	p, err := plan.Build(context.Background(), exact, approx, allSpecs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TasksDeduped() <= 0 {
+		t.Fatalf("TasksDeduped = %d (requested %d, unique %d); want cross-metric sharing",
+			p.TasksDeduped(), p.TasksRequested, len(p.Tasks))
+	}
+	if len(p.Tasks)+p.TasksDeduped() != p.TasksRequested {
+		t.Errorf("dedup arithmetic: %d + %d != %d",
+			len(p.Tasks), p.TasksDeduped(), p.TasksRequested)
+	}
+}
+
+// TestRunMatchesDirectCounts runs a multi-metric session on the enum
+// backend and checks each metric's numerator against a hand-computed
+// weighted sum of the task counts — the assembly step must apply every
+// bit's weight to its (possibly shared) task.
+func TestRunMatchesDirectCounts(t *testing.T) {
+	exact := gen.RippleCarryAdder(6)
+	approx := als.LowerORAdder(6, 3)
+	p, err := plan.Build(context.Background(), exact, approx, allSpecs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := engine.Lookup("enum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Run(context.Background(), be, engine.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Metrics) != len(p.Metrics) || len(out.TaskResults) != len(p.Tasks) {
+		t.Fatalf("outcome shape: %d metrics / %d task results", len(out.Metrics), len(out.TaskResults))
+	}
+	for mi, mo := range out.Metrics {
+		want := new(big.Int)
+		m := p.Metrics[mi]
+		for k, ti := range m.TaskOf {
+			term := new(big.Int).Mul(m.Weights[k], out.TaskResults[ti].Count)
+			want.Add(want, term)
+		}
+		if mo.Count.Cmp(want) != 0 {
+			t.Errorf("%s: count %v, want weighted sum %v", mo.Name, mo.Count, want)
+		}
+		if len(mo.Subs) != len(m.Outputs) {
+			t.Fatalf("%s: %d subs for %d bits", mo.Name, len(mo.Subs), len(m.Outputs))
+		}
+		for k, sub := range mo.Subs {
+			if sub.Count == nil || sub.Count.Cmp(out.TaskResults[sub.Task].Count) != 0 {
+				t.Errorf("%s bit %d: sub count %v, task count %v",
+					mo.Name, k, sub.Count, out.TaskResults[sub.Task].Count)
+			}
+			if sub.Shared == m.Owner[k] {
+				t.Errorf("%s bit %d: Shared = %v with Owner = %v", mo.Name, k, sub.Shared, m.Owner[k])
+			}
+		}
+	}
+}
+
+// TestSubResultWeightsCopied pins the aliasing fix: results must never
+// share big.Int storage with the weights the caller handed to FromMiter.
+func TestSubResultWeightsCopied(t *testing.T) {
+	m, err := miter.MED(gen.RippleCarryAdder(4), als.LowerORAdder(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]*big.Int, m.NumOutputs())
+	for i := range weights {
+		weights[i] = new(big.Int).Lsh(big.NewInt(1), uint(i))
+	}
+	p, err := plan.FromMiter(context.Background(), "MED", m, weights, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the caller's slice after Build: the plan must have copied.
+	saved := make([]*big.Int, len(weights))
+	for i, w := range weights {
+		saved[i] = new(big.Int).Set(w)
+		w.SetInt64(-7)
+	}
+	be, err := engine.Lookup("enum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Run(context.Background(), be, engine.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := out.Metrics[0]
+	for k, sub := range mo.Subs {
+		if sub.Weight.Cmp(saved[k]) != 0 {
+			t.Errorf("bit %d: weight %v mutated through caller's slice (want %v)",
+				k, sub.Weight, saved[k])
+		}
+		// And the reverse: mutating the result must not touch plan state.
+		sub.Weight.SetInt64(99)
+	}
+	if p.Metrics[0].Weights[0].Cmp(saved[0]) != 0 {
+		t.Error("mutating SubResult.Weight changed the plan's weight")
+	}
+}
+
+func TestFromMiterWeightMismatch(t *testing.T) {
+	m, err := miter.HD(gen.RippleCarryAdder(4), als.LowerORAdder(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = plan.FromMiter(context.Background(), "MHD", m, []*big.Int{big.NewInt(1)}, false)
+	if err == nil || !strings.Contains(err.Error(), "weights") {
+		t.Fatalf("weight-count mismatch not rejected: %v", err)
+	}
+}
+
+// TestProgressSessionTotals checks the session-spanning progress stream:
+// per-metric Done counts reach each metric's bit count, session counters
+// reach the unique-task total, and the threshold metric's formatted name
+// is carried on its events.
+func TestProgressSessionTotals(t *testing.T) {
+	exact := gen.RippleCarryAdder(6)
+	approx := als.LowerORAdder(6, 3)
+	specs := append([]plan.Spec{}, allSpecs...)
+	specs = append(specs, plan.Spec{Kind: plan.ThresholdProb, Threshold: big.NewInt(3)})
+	p, err := plan.Build(context.Background(), exact, approx, specs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := engine.Lookup("vacsem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricDone := map[string]int{}
+	var sessionDone, events int
+	progress := func(ev plan.ProgressEvent) {
+		events++
+		if ev.Done != metricDone[ev.Metric]+1 {
+			t.Errorf("%s: Done = %d after %d events", ev.Metric, ev.Done, metricDone[ev.Metric])
+		}
+		metricDone[ev.Metric] = ev.Done
+		if ev.SessionDone < sessionDone {
+			t.Errorf("session Done went backwards: %d -> %d", sessionDone, ev.SessionDone)
+		}
+		sessionDone = ev.SessionDone
+		if ev.SessionTotal != len(p.Tasks) {
+			t.Errorf("SessionTotal = %d, want %d", ev.SessionTotal, len(p.Tasks))
+		}
+		if ev.Count == nil {
+			t.Errorf("%s/%s: nil count in event", ev.Metric, ev.Output)
+		}
+	}
+	if _, err := p.Run(context.Background(), be, engine.Config{Workers: 2}, progress); err != nil {
+		t.Fatal(err)
+	}
+	for mi, m := range p.Metrics {
+		if metricDone[m.Name] != len(m.Outputs) {
+			t.Errorf("metric %s: final Done = %d, want %d", m.Name, metricDone[m.Name], len(m.Outputs))
+		}
+		_ = mi
+	}
+	if _, ok := metricDone["P(dev>3)"]; !ok {
+		t.Errorf("threshold metric name missing from events; saw %v", metricDone)
+	}
+	if sessionDone != len(p.Tasks) {
+		t.Errorf("final SessionDone = %d, want %d", sessionDone, len(p.Tasks))
+	}
+	if events != p.TasksRequested {
+		t.Errorf("saw %d events, want one per requested bit (%d)", events, p.TasksRequested)
+	}
+}

@@ -219,11 +219,41 @@ func (b *builder) mkXor(a, c int) int {
 	if n := b.notOf[c]; n >= 0 && n < c {
 		c, neg = n, !neg
 	}
+	if x, ok := b.xorAbsorb(a, c); ok {
+		if neg {
+			return b.mkNot(x)
+		}
+		return x
+	}
 	id := b.raw(circuit.Xor, a, c)
 	if neg {
 		return b.mkNot(id)
 	}
 	return id
+}
+
+// xorAbsorb recognizes Xor(Xor(x, y), y) = x: XOR is its own inverse, so
+// re-xoring one operand back in cancels it. The pattern arises in the
+// conditional negate of |y - y'|, where each difference bit is xored with
+// the sign twice (once directly, once through the increment's half adder).
+func (b *builder) xorAbsorb(a, c int) (int, bool) {
+	if n := &b.c.Nodes[a]; n.Kind == circuit.Xor {
+		if n.Fanins[0] == c {
+			return n.Fanins[1], true
+		}
+		if n.Fanins[1] == c {
+			return n.Fanins[0], true
+		}
+	}
+	if n := &b.c.Nodes[c]; n.Kind == circuit.Xor {
+		if n.Fanins[0] == a {
+			return n.Fanins[1], true
+		}
+		if n.Fanins[1] == a {
+			return n.Fanins[0], true
+		}
+	}
+	return 0, false
 }
 
 func (b *builder) mkMux(s, a, c int) int {

@@ -24,7 +24,7 @@ go build ./...
 echo "==> go test -race -short (cache/engine concurrency fast path)"
 # Focused first pass over the packages that share the component cache
 # across goroutines: fails fast on a cache race before the full suite.
-go test -race -short ./internal/counter ./internal/engine ./internal/core
+go test -race -short ./internal/counter ./internal/engine ./internal/plan ./internal/core
 
 echo "==> go test -race"
 go test -race ./...
@@ -34,6 +34,14 @@ go test -run '^$' -bench=. -benchtime=1x ./internal/sim/...
 
 echo "==> bench smoke (one iteration per benchmark)"
 go test -run '^$' -bench=. -benchtime=1x ./...
+
+echo "==> multi-metric session smoke (dedup fires, values match standalone)"
+multi_out=$(go run ./cmd/vacsem-bench -table multi -versions 1 -report none)
+echo "$multi_out"
+if echo "$multi_out" | grep -q "MISMATCH"; then
+	echo "multi-metric session values diverged from standalone runs"
+	exit 1
+fi
 
 echo "==> traced quickstart (JSONL trace parses and is self-consistent)"
 go run ./examples/traced_verify >/dev/null

@@ -83,6 +83,47 @@ type ProgressEvent = core.ProgressEvent
 // Options.Progress. Calls are serialized; the callback must not block.
 type ProgressFunc = core.ProgressFunc
 
+// MetricKind identifies a built-in average-error metric for
+// multi-metric sessions (see VerifyMetrics).
+type MetricKind = core.MetricKind
+
+// Metric kinds usable in a MetricSpec.
+const (
+	// MetricER is the error rate.
+	MetricER = core.MetricER
+	// MetricMED is the mean error distance.
+	MetricMED = core.MetricMED
+	// MetricMHD is the mean Hamming distance.
+	MetricMHD = core.MetricMHD
+	// MetricThresholdProb is P(|int(y)-int(y')| > t); MetricSpec.Threshold
+	// carries t.
+	MetricThresholdProb = core.MetricThresholdProb
+)
+
+// MetricSpec requests one metric in a VerifyMetrics session.
+type MetricSpec = core.MetricSpec
+
+// MetricSpecByName parses a metric name ("er", "med", "mhd", "thr") into
+// a MetricSpec; threshold is only consulted for "thr".
+func MetricSpecByName(name string, threshold *big.Int) (MetricSpec, error) {
+	return core.MetricSpecByName(name, threshold)
+}
+
+// SessionResult reports a multi-metric session: one Result per spec plus
+// session-wide accounting (tasks requested/unique/deduplicated, base
+// miter size around its single synthesis pass, aggregate solver stats).
+type SessionResult = core.SessionResult
+
+// VerifyMetrics verifies several metrics of one circuit pair in a single
+// session: the shared base miter is built and synthesized once, every
+// metric's deviation bits compile to counting tasks, structurally
+// identical tasks are deduplicated across metrics, and one backend run
+// solves the rest with a shared component cache. Each Result is
+// bit-identical to the corresponding standalone Verify* call.
+func VerifyMetrics(ctx context.Context, exact, approx *Circuit, specs []MetricSpec, opt Options) (*SessionResult, error) {
+	return core.VerifyMetrics(ctx, exact, approx, specs, opt)
+}
+
 // ErrTimeout is returned when Options.TimeLimit expires. Cancellation
 // through a caller-supplied context (the Verify*Context variants) is
 // reported as the context's own error instead.
