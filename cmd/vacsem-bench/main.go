@@ -9,6 +9,13 @@
 // {ER, MED, MHD} of each pair verified in one shared-base, deduplicated
 // run, against the sum of the three standalone runs.
 //
+// -table approx compares the (ε, δ) approximate-counting backend with
+// exact VACSEM on the adder/multiplier suite: estimates are checked
+// against the exact values' (1+ε) band and both runs land in the JSON
+// report (records carry epsilon/delta, so approximate and exact values
+// stay distinguishable). -epsilon, -delta and -count-seed tune it;
+// -backend restricts any table's method list to one backend.
+//
 // The default suite is scaled down so a complete run finishes in minutes
 // (the counter is pure Go); -full restores the paper's circuit sizes.
 //
@@ -45,7 +52,11 @@ func main() {
 }
 
 func run() int {
-	table := flag.String("table", "all", "table to regenerate: 3, 4, 5, 6, dd, multi or all")
+	table := flag.String("table", "all", "table to regenerate: 3, 4, 5, 6, dd, multi, approx or all")
+	backendName := flag.String("backend", "", "restrict table runs to one backend (vacsem, dpll, enum, bdd, approx)")
+	epsilon := flag.Float64("epsilon", 0, "approx backend: multiplicative tolerance ε (0 = default 0.8)")
+	delta := flag.Float64("delta", 0, "approx backend: failure probability δ (0 = default 0.2)")
+	countSeed := flag.Int64("count-seed", 0, "seed for the approx backend's XOR sampling (reproducible runs)")
 	full := flag.Bool("full", false, "use the paper's full-size circuits (slow)")
 	versions := flag.Int("versions", 0, "approximate versions per benchmark (default 3, 10 with -full)")
 	timeLimit := flag.Duration("timelimit", 0, "per-verification time limit (default 30s, 4h with -full)")
@@ -80,6 +91,15 @@ func run() int {
 	cfg := bench.Config{
 		Full: *full, Versions: *versions, TimeLimit: *timeLimit,
 		Workers: *workers, SimWorkers: *simWorkers, NoSharedCache: !*sharedCache,
+		Epsilon: *epsilon, Delta: *delta, Seed: *countSeed,
+	}
+	if *backendName != "" {
+		m, err := core.MethodByName(*backendName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vacsem-bench:", err)
+			return 2
+		}
+		cfg.Methods = []core.Method{m}
 	}
 	rep := bench.NewReport(cfg, *table, time.Now())
 	cfg.OnRun = rep.Add
@@ -119,6 +139,13 @@ func run() int {
 		bench.WriteMultiTable(os.Stdout, rows, cfg)
 		fmt.Println()
 	}
+	if *table == "approx" { // not part of -table all: it reruns the suite twice
+		ran = true
+		specs := bench.AdderMultSpecs(cfg)
+		rows := bench.RunApproxTable(specs, bench.ER, cfg)
+		bench.WriteApproxTable(os.Stdout, rows, cfg)
+		fmt.Println()
+	}
 	if want("6") {
 		ran = true
 		// Table VI compares VACSEM against the DPLL baseline only.
@@ -129,7 +156,7 @@ func run() int {
 		writeTable6(rows, cfg6)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown -table %q (want 3, 4, 5, 6, dd, multi or all)\n", *table)
+		fmt.Fprintf(os.Stderr, "unknown -table %q (want 3, 4, 5, 6, dd, multi, approx or all)\n", *table)
 		return 2
 	}
 

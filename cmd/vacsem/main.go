@@ -13,7 +13,16 @@
 //
 // Methods: vacsem (simulation-enhanced counting, default), dpll (the
 // counter without simulation), enum (exhaustive simulation), bdd (the
-// prior-art decision-diagram flow).
+// prior-art decision-diagram flow), approx ((ε, δ) estimation by XOR
+// streamlining). -backend is an alias for -method that overrides it
+// when set.
+//
+// The approx backend reports value ± ε at confidence 1-δ: -epsilon and
+// -delta tune the guarantee (defaults 0.8 / 0.2) and -count-seed makes
+// the XOR sampling reproducible:
+//
+//	vacsem -backend approx -epsilon 0.1 -delta 0.05 -count-seed 7 \
+//	    -metric er -exact adder.blif -approx adder_apx.blif
 //
 // -metrics verifies several metrics in one session: the shared base
 // miter is built and synthesized once, structurally identical counting
@@ -65,7 +74,11 @@ func run() int {
 		metricList  = flag.String("metrics", "", "comma-separated metrics verified in one deduplicated session (e.g. er,med,mhd); overrides -metric")
 		exactPath   = flag.String("exact", "", "exact circuit file (.blif or .aag)")
 		apxPath     = flag.String("approx", "", "approximate circuit file (.blif or .aag)")
-		method      = flag.String("method", "vacsem", "engine: vacsem, dpll, enum or bdd")
+		method      = flag.String("method", "vacsem", "engine: vacsem, dpll, enum, bdd or approx")
+		backend     = flag.String("backend", "", "alias for -method; overrides it when set")
+		epsilon     = flag.Float64("epsilon", 0, "approx backend: multiplicative tolerance ε (0 = default 0.8)")
+		delta       = flag.Float64("delta", 0, "approx backend: failure probability δ (0 = default 0.2)")
+		countSeed   = flag.Int64("count-seed", 0, "seed for the approx backend's XOR sampling (reproducible runs)")
 		threshold   = flag.String("threshold", "0", "deviation threshold for -metric thr")
 		timeLimit   = flag.Duration("timelimit", 0, "abort after this duration (0 = none)")
 		noSynth     = flag.Bool("nosynth", false, "skip the synthesis (compress) step")
@@ -105,13 +118,20 @@ func run() int {
 		}
 	}()
 
-	if err := verify(*metric, *metricList, *exactPath, *apxPath, *method, *threshold, core.Options{
+	engineName := *method
+	if *backend != "" {
+		engineName = *backend
+	}
+	if err := verify(*metric, *metricList, *exactPath, *apxPath, engineName, *threshold, core.Options{
 		TimeLimit:          *timeLimit,
 		NoSynth:            *noSynth,
 		Alpha:              *alpha,
 		Workers:            *workers,
 		SimWorkers:         *simWorkers,
 		DisableSharedCache: !*sharedCache,
+		Epsilon:            *epsilon,
+		Delta:              *delta,
+		Seed:               *countSeed,
 	}, *progress, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "vacsem:", err)
 		exitCode = 1
@@ -187,6 +207,9 @@ func verify(metric, metricList, exactPath, apxPath, method, threshold string, op
 	fmt.Printf("approx     : %s\n", approx.Name)
 	fmt.Printf("value      : %s\n", res.Value.RatString())
 	fmt.Printf("value~     : %.6g\n", res.Float())
+	if res.Approx {
+		fmt.Printf("guarantee  : %s\n", approxLine(res))
+	}
 	fmt.Printf("count      : %s / 2^%d patterns\n", res.Count.String(), res.NumInputs)
 	fmt.Printf("runtime    : %v (wall %v)\n", res.Runtime, time.Since(start))
 	fmt.Printf("stats      : %s\n", statsLine(res.TotalStats))
@@ -241,6 +264,9 @@ func verifySession(ctx context.Context, metricList, threshold string, exact, app
 		fmt.Printf("\nmetric     : %s\n", res.Metric)
 		fmt.Printf("value      : %s\n", res.Value.RatString())
 		fmt.Printf("value~     : %.6g\n", res.Float())
+		if res.Approx {
+			fmt.Printf("guarantee  : %s\n", approxLine(res))
+		}
 		fmt.Printf("count      : %s / 2^%d patterns\n", res.Count.String(), res.NumInputs)
 		if verbose {
 			printSubs(res.Subs)
@@ -257,6 +283,14 @@ func parseThreshold(threshold string) (*big.Int, error) {
 	return t, nil
 }
 
+// approxLine renders the (ε, δ) guarantee row of an estimated result:
+// the true value lies within a (1+ε) factor of the reported one with
+// the stated confidence.
+func approxLine(res *core.Result) string {
+	return fmt.Sprintf("value ± ε (ε=%g) @ confidence %.4g (δ=%.4g)",
+		res.Epsilon, res.Confidence, res.Delta)
+}
+
 func statsLine(s counter.Stats) string {
 	return fmt.Sprintf("dec=%d prop=%d comp=%d cache=%d/%d (cross=%d evict=%d) sim=%d simpat=%d",
 		s.Decisions, s.Propagations, s.Components, s.CacheHits, s.CacheStores,
@@ -268,6 +302,9 @@ func printSubs(subs []core.SubResult) {
 		shared := ""
 		if sub.Shared {
 			shared = "  (shared task)"
+		}
+		if sub.Approx {
+			shared += fmt.Sprintf("  (approx ε=%g δ=%g)", sub.Epsilon, sub.Delta)
 		}
 		fmt.Printf("  %-8s count=%-14s weight=%-10s nodes %d->%d  %v  (dec=%d sim=%d cache=%d)%s\n",
 			sub.Output, sub.Count, sub.Weight, sub.NodesBefore, sub.NodesAfter,

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/big"
 	"time"
 
 	"vacsem/internal/als"
@@ -50,6 +51,14 @@ type Config struct {
 	// cache instead of the run-wide shared one (ablation; counts are
 	// identical either way).
 	NoSharedCache bool
+	// Epsilon, Delta and Seed tune MethodApprox when it appears in
+	// Methods (or in the approx comparison table): each count lands
+	// within a (1+ε) factor of the exact one with probability 1-δ, and
+	// Seed makes the XOR sampling reproducible. Zero values use the
+	// ApproxMC defaults (0.8 / 0.2).
+	Epsilon float64
+	Delta   float64
+	Seed    int64
 	// OnRun, when non-nil, receives one RunRecord per individual
 	// verification (each approximate version of each benchmark, per
 	// method), carrying the per-sub-miter wall times the text tables
@@ -81,6 +90,16 @@ func (c Config) withDefaults() Config {
 		c.Methods = []core.Method{core.MethodVACSEM, core.MethodDPLL, core.MethodEnum}
 	}
 	return c
+}
+
+// options builds the per-run verification options for one method.
+func (c Config) options(m core.Method) core.Options {
+	return core.Options{
+		Method: m, TimeLimit: c.TimeLimit,
+		Workers: c.Workers, SimWorkers: c.SimWorkers,
+		DisableSharedCache: c.NoSharedCache,
+		Epsilon:            c.Epsilon, Delta: c.Delta, Seed: c.Seed,
+	}
 }
 
 // Spec is one benchmark row: an exact circuit plus its approximate
@@ -322,11 +341,7 @@ func RunTable(specs []Spec, metric Metric, cfg Config) []Row {
 			cell := Cell{}
 			logSum, completed := 0.0, 0
 			for v, approx := range spec.Approx {
-				opt := core.Options{
-					Method: m, TimeLimit: cfg.TimeLimit,
-					Workers: cfg.Workers, SimWorkers: cfg.SimWorkers,
-					DisableSharedCache: cfg.NoSharedCache,
-				}
+				opt := cfg.options(m)
 				var res *core.Result
 				var err error
 				start := time.Now()
@@ -408,11 +423,7 @@ func RunMulti(specs []Spec, cfg Config) []MultiRow {
 		row := MultiRow{Name: spec.Name}
 		sessLogSum, aloneLogSum, completed := 0.0, 0.0, 0
 		for v, approx := range spec.Approx {
-			opt := core.Options{
-				Method: method, TimeLimit: cfg.TimeLimit,
-				Workers: cfg.Workers, SimWorkers: cfg.SimWorkers,
-				DisableSharedCache: cfg.NoSharedCache,
-			}
+			opt := cfg.options(method)
 			start := time.Now()
 			sess, err := core.VerifyMetrics(context.Background(), spec.Exact, approx, multiSpecs(), opt)
 			wall := time.Since(start)
@@ -501,6 +512,133 @@ func WriteMultiTable(w io.Writer, rows []MultiRow, cfg Config) {
 	}
 }
 
+// ApproxRow is one line of the approx-vs-exact comparison: the same
+// (benchmark, version) pairs verified with the (ε, δ) approx backend
+// and with exact VACSEM, so the estimates' (1+ε) bands are checked
+// against ground truth and the runtimes compared.
+type ApproxRow struct {
+	Name string
+	// ApproxSec and ExactSec are geomean runtimes over the completed
+	// versions of the approx and the exact run.
+	ApproxSec, ExactSec float64
+	// Within counts versions whose estimate landed inside the (1+ε)
+	// band of the exact value; Total the versions compared. Within must
+	// equal Total up to the δ failure probability.
+	Within, Total int
+	// ExactHits counts versions the approx backend happened to solve
+	// exactly (count under the pivot, no hashing error).
+	ExactHits int
+	Epsilon   float64
+	TimedOut  bool
+}
+
+// RunApproxTable verifies the metric for every spec twice — with the
+// approx backend and with exact VACSEM — and reports band adherence
+// plus the runtime comparison. Both runs land in OnRun (method "approx"
+// vs "vacsem"), so the JSON report carries the raw comparability data.
+func RunApproxTable(specs []Spec, metric Metric, cfg Config) []ApproxRow {
+	cfg = cfg.withDefaults()
+	eps := cfg.Epsilon
+	if eps == 0 {
+		eps = 0.8 // the ApproxMC default the backend applies
+	}
+	band := new(big.Rat).SetFloat64(1 + eps)
+	rows := make([]ApproxRow, 0, len(specs))
+	for _, spec := range specs {
+		row := ApproxRow{Name: spec.Name, Epsilon: eps}
+		apxLog, exLog, completed := 0.0, 0.0, 0
+		for v, approx := range spec.Approx {
+			verify := func(m core.Method) (*core.Result, error) {
+				opt := cfg.options(m)
+				start := time.Now()
+				var res *core.Result
+				var err error
+				if metric == MED {
+					res, err = core.VerifyMED(spec.Exact, approx, opt)
+				} else {
+					res, err = core.VerifyER(spec.Exact, approx, opt)
+				}
+				if cfg.OnRun != nil {
+					cfg.OnRun(newRunRecord(spec.Name, metric.String(), m, v, res, err, time.Since(start)))
+				}
+				return res, err
+			}
+			est, err := verify(core.MethodApprox)
+			if err != nil {
+				row.TimedOut = true
+				break
+			}
+			exact, err := verify(core.MethodVACSEM)
+			if err != nil {
+				row.TimedOut = true
+				break
+			}
+			row.Total++
+			if !est.Approx {
+				row.ExactHits++
+			}
+			if withinBand(est.Value, exact.Value, band) {
+				row.Within++
+			}
+			apxLog += math.Log(clampSecs(est.Runtime.Seconds()))
+			exLog += math.Log(clampSecs(exact.Runtime.Seconds()))
+			completed++
+		}
+		if completed > 0 {
+			row.ApproxSec = math.Exp(apxLog / float64(completed))
+			row.ExactSec = math.Exp(exLog / float64(completed))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// withinBand reports want/(1+ε) <= got <= want*(1+ε) in exact rational
+// arithmetic; band is the precomputed (1+ε).
+func withinBand(got, want, band *big.Rat) bool {
+	hi := new(big.Rat).Mul(want, band)
+	lo := new(big.Rat).Mul(got, band) // got*(1+ε) >= want <=> got >= want/(1+ε)
+	return lo.Cmp(want) >= 0 && got.Cmp(hi) <= 0
+}
+
+func clampSecs(s float64) float64 {
+	if s <= 0 {
+		return 1e-6
+	}
+	return s
+}
+
+// WriteApproxTable prints the approx-vs-exact comparison.
+func WriteApproxTable(w io.Writer, rows []ApproxRow, cfg Config) {
+	cfg = cfg.withDefaults()
+	eps := cfg.Epsilon
+	if eps == 0 {
+		eps = 0.8
+	}
+	delta := cfg.Delta
+	if delta == 0 {
+		delta = 0.2
+	}
+	fmt.Fprintf(w, "Approx vs exact: (ε=%g, δ=%g) estimates against exact values (time limit %v, %d approx versions%s)\n",
+		eps, delta, cfg.TimeLimit, cfg.Versions,
+		map[bool]string{true: ", full-size", false: ", scaled"}[cfg.Full])
+	fmt.Fprintf(w, "%-11s %12s %12s %9s %9s %10s\n",
+		"Benchmark", "Approx/s", "Exact/s", "Ratio", "InBand", "ExactHits")
+	for _, r := range rows {
+		if r.TimedOut {
+			fmt.Fprintf(w, "%-11s %12s\n", r.Name, fmt.Sprintf(">%g", cfg.TimeLimit.Seconds()))
+			continue
+		}
+		ratio := "-"
+		if r.ApproxSec > 0 && r.ExactSec > 0 {
+			ratio = fmt.Sprintf("%.3gx", r.ExactSec/r.ApproxSec)
+		}
+		fmt.Fprintf(w, "%-11s %12.4g %12.4g %9s %9s %10d\n",
+			r.Name, r.ApproxSec, r.ExactSec, ratio,
+			fmt.Sprintf("%d/%d", r.Within, r.Total), r.ExactHits)
+	}
+}
+
 // WriteTable prints rows in the paper's layout.
 func WriteTable(w io.Writer, title string, rows []Row, cfg Config) {
 	cfg = cfg.withDefaults()
@@ -559,11 +697,7 @@ func WriteDDScalability(w io.Writer, cfg Config) {
 	fmt.Fprintf(w, "%-13s %14s %14s\n", "Instance", "BDD/s", "VACSEM/s")
 	for _, p := range points {
 		render := func(m core.Method) string {
-			opt := core.Options{
-				Method: m, TimeLimit: cfg.TimeLimit,
-				Workers: cfg.Workers, SimWorkers: cfg.SimWorkers,
-				DisableSharedCache: cfg.NoSharedCache,
-			}
+			opt := cfg.options(m)
 			start := time.Now()
 			var res *core.Result
 			var err error

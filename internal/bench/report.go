@@ -27,6 +27,11 @@ type SubRecord struct {
 	// CacheCross counts hits on components first solved inside another
 	// sub-miter of the same run (nonzero only with the shared cache).
 	CacheCross uint64 `json:"cache_cross_hits,omitempty"`
+	// Approx marks an (ε, δ)-estimated count; Epsilon/Delta are its
+	// per-task tolerance and failure probability.
+	Approx  bool    `json:"approx,omitempty"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
 }
 
 // RunRecord is one (benchmark, metric, method, version) measurement.
@@ -44,6 +49,15 @@ type RunRecord struct {
 	Err        string        `json:"error,omitempty"`
 	Subs       []SubRecord   `json:"subs,omitempty"`
 	Stats      counter.Stats `json:"stats"`
+	// Approx marks a value estimated by the approx backend rather than
+	// computed exactly; Epsilon/Delta/Confidence are then the metric's
+	// aggregated (ε, δ) guarantee. Exact runs omit all four fields, so
+	// approximate and exact records are directly distinguishable when
+	// comparing values across a report.
+	Approx     bool    `json:"approx,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Delta      float64 `json:"delta,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // newRunRecord flattens one verification outcome into a RunRecord. res
@@ -76,6 +90,12 @@ func newRunRecord(bench, metric string, m core.Method, version int, res *core.Re
 	rec.Count = res.Count.String()
 	rec.NumInputs = res.NumInputs
 	rec.Stats = res.TotalStats
+	if res.Approx {
+		rec.Approx = true
+		rec.Epsilon = res.Epsilon
+		rec.Delta = res.Delta
+		rec.Confidence = res.Confidence
+	}
 	rec.Subs = make([]SubRecord, len(res.Subs))
 	for i, sub := range res.Subs {
 		rec.Subs[i] = SubRecord{
@@ -87,6 +107,9 @@ func newRunRecord(bench, metric string, m core.Method, version int, res *core.Re
 			SimCalls:   sub.Stats.SimCalls,
 			CacheHits:  sub.Stats.CacheHits,
 			CacheCross: sub.Stats.CacheCrossHits,
+			Approx:     sub.Approx,
+			Epsilon:    sub.Epsilon,
+			Delta:      sub.Delta,
 		}
 	}
 	return rec

@@ -16,6 +16,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -29,11 +30,32 @@ type Lit = int32
 // Clause is a disjunction of literals.
 type Clause []Lit
 
-// Formula is a CNF formula together with the circuit-topology metadata of
-// Phase 1.
+// XorClause is a native parity constraint: the XOR of the listed
+// variables equals Rhs. Rows are kept canonical — Vars sorted ascending
+// with duplicate pairs cancelled — so two rows constrain the same parity
+// iff they are structurally equal. An empty row with Rhs true is the
+// unsatisfiable parity 0 = 1; an empty row with Rhs false is a tautology
+// and is never stored.
+type XorClause struct {
+	Vars []int32
+	Rhs  bool
+}
+
+// Formula is a CNF-XOR formula together with the circuit-topology
+// metadata of Phase 1. Clauses and Xors jointly define the constraint
+// set: a model must satisfy every disjunctive clause and every parity
+// row.
 type Formula struct {
 	NumVars int
 	Clauses []Clause
+	// Xors holds the native parity constraints: XOR chains recovered
+	// from circuit gates by Encode, x-lines of a DIMACS file, or hash
+	// rows added by the approximate counter.
+	Xors []XorClause
+	// Track is the model-counting track of a parsed "c t ..." DIMACS
+	// header ("mc", "pmc", "wmc"); empty when absent. WriteDIMACS emits
+	// it back verbatim.
+	Track string
 
 	// Circ is the circuit the formula encodes. Nil for formulas read from
 	// DIMACS (which carry no topology).
@@ -46,8 +68,14 @@ type Formula struct {
 	// consistency function produced it, or -1 for clauses with no gate
 	// (e.g. the output unit clause).
 	GateOfClause []int32
+	// GateOfXor maps an XOR row index to the node id of the gate whose
+	// consistency function it is, or -1 for rows with no gate (parsed
+	// x-lines, hash rows).
+	GateOfXor []int32
 	// ClausesOfGate maps a node id to the indices of its clauses.
 	ClausesOfGate map[int32][]int32
+	// XorsOfGate maps a node id to the indices of its XOR rows.
+	XorsOfGate map[int32][]int32
 }
 
 // addClause appends a clause attributed to gate node `gate` (-1 for none).
@@ -62,10 +90,56 @@ func (f *Formula) addClause(gate int32, lits ...Lit) {
 	}
 }
 
-// Encode converts a single-output circuit into a CNF formula asserting that
-// the output is 1 (the unit clause of Section IV-A). Every node in the
-// transitive fanin of the output receives a variable; nodes outside the
-// cone receive none (callers account for them with a 2^k factor).
+// AddXor appends the parity constraint XOR(vars) = rhs attributed to
+// gate node `gate` (-1 for none), canonicalizing the row first:
+// variables are sorted and duplicate pairs cancel (v XOR v = 0). A row
+// that cancels to the empty tautology (rhs false) is dropped.
+func (f *Formula) AddXor(gate int32, rhs bool, vars ...int32) {
+	row := canonicalXor(vars, rhs)
+	if len(row.Vars) == 0 && !row.Rhs {
+		return // 0 = 0, always true
+	}
+	idx := int32(len(f.Xors))
+	f.Xors = append(f.Xors, row)
+	f.GateOfXor = append(f.GateOfXor, gate)
+	if gate >= 0 {
+		if f.XorsOfGate == nil {
+			f.XorsOfGate = make(map[int32][]int32)
+		}
+		f.XorsOfGate[gate] = append(f.XorsOfGate[gate], idx)
+	}
+}
+
+// canonicalXor sorts the variables and cancels duplicate pairs.
+func canonicalXor(vars []int32, rhs bool) XorClause {
+	vs := make([]int32, len(vars))
+	copy(vs, vars)
+	slices.Sort(vs)
+	out := vs[:0]
+	for i := 0; i < len(vs); {
+		j := i
+		for j < len(vs) && vs[j] == vs[i] {
+			j++
+		}
+		if (j-i)%2 == 1 {
+			out = append(out, vs[i])
+		}
+		i = j
+	}
+	return XorClause{Vars: out, Rhs: rhs}
+}
+
+// Encode converts a single-output circuit into a CNF-XOR formula
+// asserting that the output is 1 (the unit clause of Section IV-A).
+// Every node in the transitive fanin of the output receives a variable;
+// nodes outside the cone receive none (callers account for them with a
+// 2^k factor).
+//
+// XOR and XNOR gates are recovered as native parity rows (one XorClause
+// per gate) instead of being expanded to four CNF clauses, so the parity
+// chains of arithmetic miters survive into the formula where the
+// counter's Gaussian-elimination propagator can exploit them.
+// EncodeBlasted keeps the historical pure-CNF expansion.
 //
 // Buffers are encoded as equivalences. The constant node receives a
 // variable with a negative unit clause only when it is actually referenced
@@ -74,7 +148,18 @@ func Encode(c *circuit.Circuit) (*Formula, error) {
 	if len(c.Outputs) != 1 {
 		return nil, fmt.Errorf("cnf: Encode needs a single-output circuit, got %d outputs", len(c.Outputs))
 	}
-	return encode(c, true)
+	return encode(c, true, true)
+}
+
+// EncodeBlasted is Encode with XOR/XNOR gates expanded to their four
+// CNF consistency clauses — the pre-native-XOR encoding, kept for
+// ablation and for equivalence tests of the Gauss-aware counter against
+// the CNF-blasted path. Models are identical to Encode's.
+func EncodeBlasted(c *circuit.Circuit) (*Formula, error) {
+	if len(c.Outputs) != 1 {
+		return nil, fmt.Errorf("cnf: EncodeBlasted needs a single-output circuit, got %d outputs", len(c.Outputs))
+	}
+	return encode(c, true, false)
 }
 
 // EncodeOpen converts the circuit like Encode but without asserting the
@@ -84,10 +169,19 @@ func EncodeOpen(c *circuit.Circuit) (*Formula, error) {
 	if len(c.Outputs) == 0 {
 		return nil, fmt.Errorf("cnf: EncodeOpen needs at least one output")
 	}
-	return encode(c, false)
+	return encode(c, false, true)
 }
 
-func encode(c *circuit.Circuit, assertOutput bool) (*Formula, error) {
+// EncodeOpenBlasted is EncodeOpen with XOR/XNOR gates expanded to CNF
+// clauses (see EncodeBlasted).
+func EncodeOpenBlasted(c *circuit.Circuit) (*Formula, error) {
+	if len(c.Outputs) == 0 {
+		return nil, fmt.Errorf("cnf: EncodeOpenBlasted needs at least one output")
+	}
+	return encode(c, false, false)
+}
+
+func encode(c *circuit.Circuit, assertOutput, nativeXor bool) (*Formula, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("cnf: %w", err)
 	}
@@ -128,7 +222,7 @@ func encode(c *circuit.Circuit, assertOutput bool) (*Formula, error) {
 				}
 				fi[j] = fv
 			}
-			emitGate(f, int32(id), v, nd.Kind, fi)
+			emitGate(f, int32(id), v, nd.Kind, fi, nativeXor)
 		}
 	}
 	if assertOutput {
@@ -139,8 +233,22 @@ func encode(c *circuit.Circuit, assertOutput bool) (*Formula, error) {
 }
 
 // emitGate appends the consistency-function clauses of one gate:
-// clauses that hold iff n <-> kind(fanins).
-func emitGate(f *Formula, gate int32, n Lit, k circuit.Kind, in []Lit) {
+// clauses that hold iff n <-> kind(fanins). With nativeXor set, XOR and
+// XNOR gates become a single parity row (n^a^b = 0 resp. 1) instead of
+// four CNF clauses.
+func emitGate(f *Formula, gate int32, n Lit, k circuit.Kind, in []Lit, nativeXor bool) {
+	if nativeXor {
+		switch k {
+		case circuit.Xor:
+			// n <-> a^b  ≡  n^a^b = 0
+			f.AddXor(gate, false, n, in[0], in[1])
+			return
+		case circuit.Xnor:
+			// n <-> ~(a^b)  ≡  n^a^b = 1
+			f.AddXor(gate, true, n, in[0], in[1])
+			return
+		}
+	}
 	switch k {
 	case circuit.Buf:
 		a := in[0]
@@ -216,15 +324,36 @@ func (f *Formula) NumEncodedInputs() int {
 	return n
 }
 
-// WriteDIMACS writes the formula in DIMACS cnf format.
+// WriteDIMACS writes the formula in DIMACS cnf format. A "c t <track>"
+// header is emitted when Track is set, and native parity rows become
+// "x"-lines in the CryptoMiniSat convention: the clause count of the
+// problem line includes them, a row with Rhs true lists all variables
+// positive, and a row with Rhs false negates the first literal.
 func (f *Formula) WriteDIMACS(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	if f.Track != "" {
+		fmt.Fprintf(bw, "c t %s\n", f.Track)
+	}
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)+len(f.Xors))
 	for _, cl := range f.Clauses {
 		for _, l := range cl {
 			bw.WriteString(strconv.Itoa(int(l)))
 			bw.WriteByte(' ')
 		}
+		bw.WriteString("0\n")
+	}
+	for _, x := range f.Xors {
+		bw.WriteString("x ")
+		for i, v := range x.Vars {
+			l := int(v)
+			if i == 0 && !x.Rhs {
+				l = -l
+			}
+			bw.WriteString(strconv.Itoa(l))
+			bw.WriteByte(' ')
+		}
+		// An empty row can only be Rhs true (0 = 1); "x 0" encodes it:
+		// empty parity with rhs starting true and no sign flips.
 		bw.WriteString("0\n")
 	}
 	return bw.Flush()
@@ -233,15 +362,57 @@ func (f *Formula) WriteDIMACS(w io.Writer) error {
 // ParseDIMACS reads a DIMACS cnf file. The resulting formula has no
 // circuit metadata (Circ is nil); it can be counted with the DPLL engine
 // but not with the simulation hook.
+//
+// Beyond plain cnf, two model-counting extensions are accepted: a
+// "c t <track>" header (e.g. "c t pmc") recorded in Track, and "x"-lines
+// carrying XOR clauses in the CryptoMiniSat convention — the parity
+// right-hand side starts true and every negative literal flips it. The
+// declared clause count covers CNF clauses and x-lines together.
 func ParseDIMACS(r io.Reader) (*Formula, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	f := &Formula{ClausesOfGate: make(map[int32][]int32)}
 	declared := -1
+	xorLines := 0
 	var cur Clause
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		if line == "" || line[0] == 'c' {
+		if line == "" {
+			continue
+		}
+		if line[0] == 'c' {
+			if fields := strings.Fields(line); len(fields) >= 3 && fields[0] == "c" && fields[1] == "t" {
+				f.Track = fields[2]
+			}
+			continue
+		}
+		if line[0] == 'x' {
+			rhs := true
+			var vars []int32
+			closed := false
+			for _, tok := range strings.Fields(line[1:]) {
+				v, err := strconv.Atoi(tok)
+				if err != nil {
+					return nil, fmt.Errorf("cnf: bad xor literal %q", tok)
+				}
+				if v == 0 {
+					closed = true
+					break
+				}
+				if v > f.NumVars || -v > f.NumVars {
+					return nil, fmt.Errorf("cnf: xor literal %d exceeds declared %d vars", v, f.NumVars)
+				}
+				if v < 0 {
+					rhs = !rhs
+					v = -v
+				}
+				vars = append(vars, int32(v))
+			}
+			if !closed {
+				return nil, fmt.Errorf("cnf: xor line without terminating 0: %q", line)
+			}
+			f.AddXor(-1, rhs, vars...)
+			xorLines++
 			continue
 		}
 		if line[0] == 'p' {
@@ -286,8 +457,8 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 	if len(cur) != 0 {
 		return nil, fmt.Errorf("cnf: trailing clause without terminating 0")
 	}
-	if declared >= 0 && declared != len(f.Clauses) {
-		return nil, fmt.Errorf("cnf: declared %d clauses, found %d", declared, len(f.Clauses))
+	if declared >= 0 && declared != len(f.Clauses)+xorLines {
+		return nil, fmt.Errorf("cnf: declared %d clauses, found %d", declared, len(f.Clauses)+xorLines)
 	}
 	return f, nil
 }
@@ -310,6 +481,27 @@ func (f *Formula) String() string {
 			fmt.Fprintf(&b, "v%d", abs32(l))
 		}
 		b.WriteByte(')')
+	}
+	for i, x := range f.Xors {
+		if i > 0 || len(f.Clauses) > 0 {
+			b.WriteString(" & ")
+		}
+		b.WriteByte('[')
+		for j, v := range x.Vars {
+			if j > 0 {
+				b.WriteString(" ^ ")
+			}
+			fmt.Fprintf(&b, "v%d", v)
+		}
+		if len(x.Vars) == 0 {
+			b.WriteByte('0')
+		}
+		if x.Rhs {
+			b.WriteString("=1")
+		} else {
+			b.WriteString("=0")
+		}
+		b.WriteByte(']')
 	}
 	return b.String()
 }

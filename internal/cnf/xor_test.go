@@ -1,0 +1,217 @@
+package cnf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vacsem/internal/circuit"
+	"vacsem/internal/testutil"
+)
+
+func TestAddXorCanonicalizes(t *testing.T) {
+	var f Formula
+	f.NumVars = 5
+	f.AddXor(-1, true, 3, 1, 3, 2, 1, 1) // 1^2^3^... dup pairs cancel: {1,2} stay? 1 appears 3x -> odd, 3 twice -> gone
+	if len(f.Xors) != 1 {
+		t.Fatalf("Xors = %d, want 1", len(f.Xors))
+	}
+	got := f.Xors[0]
+	if len(got.Vars) != 2 || got.Vars[0] != 1 || got.Vars[1] != 2 || !got.Rhs {
+		t.Fatalf("canonical row = %v", got)
+	}
+	// v ^ v = 0: tautology with rhs false is dropped entirely.
+	f.AddXor(-1, false, 4, 4)
+	if len(f.Xors) != 1 {
+		t.Fatalf("tautology row stored: %v", f.Xors)
+	}
+	// v ^ v = 1: empty row with rhs true (0=1) must be kept — it is
+	// the unsatisfiable parity.
+	f.AddXor(-1, true, 4, 4)
+	if len(f.Xors) != 2 || len(f.Xors[1].Vars) != 0 || !f.Xors[1].Rhs {
+		t.Fatalf("contradiction row wrong: %v", f.Xors)
+	}
+}
+
+func TestEncodeRecoversXorChains(t *testing.T) {
+	// A 4-stage parity chain: native encoding should produce one XOR
+	// row per Xor/Xnor gate and zero CNF clauses for them.
+	c := circuit.New("chain")
+	prev := c.AddInput("i0")
+	for i := 1; i < 5; i++ {
+		in := c.AddInput("i")
+		k := circuit.Xor
+		if i%2 == 0 {
+			k = circuit.Xnor
+		}
+		prev = c.AddGate(k, prev, in)
+	}
+	c.AddOutput(prev, "y")
+	f, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Xors) != 4 {
+		t.Fatalf("Xors = %d, want 4", len(f.Xors))
+	}
+	// Only the output unit clause should remain on the CNF side.
+	if len(f.Clauses) != 1 {
+		t.Fatalf("Clauses = %d, want 1 (output unit)", len(f.Clauses))
+	}
+	// Gate maps must be consistent in both directions.
+	for xi, g := range f.GateOfXor {
+		if g < 0 {
+			t.Fatalf("encoded xor row %d has no gate", xi)
+		}
+		found := false
+		for _, x2 := range f.XorsOfGate[g] {
+			if int(x2) == xi {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("xor row %d not listed under gate %d", xi, g)
+		}
+	}
+	// Model count must match the blasted encoding exactly.
+	fb, err := EncodeBlasted(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.Xors) != 0 {
+		t.Fatalf("EncodeBlasted emitted %d xor rows", len(fb.Xors))
+	}
+	if n, b := bruteCountCNF(f), bruteCountCNF(fb); n != b {
+		t.Fatalf("native count %d != blasted count %d", n, b)
+	}
+}
+
+func TestEncodeNativeMatchesBlastedRandom(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		c := testutil.RandomCircuit(2+int(seed%4), 4+int(seed%8), 1, seed)
+		f, err := Encode(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := EncodeBlasted(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.NumVars != fb.NumVars {
+			t.Fatalf("seed %d: NumVars %d vs %d", seed, f.NumVars, fb.NumVars)
+		}
+		if f.NumVars > 18 {
+			continue
+		}
+		if n, b := bruteCountCNF(f), bruteCountCNF(fb); n != b {
+			t.Fatalf("seed %d: native count %d != blasted %d", seed, n, b)
+		}
+	}
+}
+
+func TestDIMACSXorRoundTrip(t *testing.T) {
+	f := &Formula{NumVars: 6, Track: "pmc"}
+	f.addClause(-1, 1, -2, 3)
+	f.AddXor(-1, true, 1, 2, 4)
+	f.AddXor(-1, false, 3, 5, 6)
+	f.AddXor(-1, true, 2, 6)
+
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "c t pmc\n") {
+		t.Errorf("missing c t header:\n%s", text)
+	}
+	if !strings.Contains(text, "p cnf 6 4\n") {
+		t.Errorf("problem line must count clauses+xors:\n%s", text)
+	}
+	if !strings.Contains(text, "x 1 2 4 0\n") || !strings.Contains(text, "x -3 5 6 0\n") {
+		t.Errorf("x-line sign convention wrong:\n%s", text)
+	}
+
+	g, err := ParseDIMACS(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Track != "pmc" {
+		t.Errorf("Track = %q", g.Track)
+	}
+	if len(g.Xors) != len(f.Xors) {
+		t.Fatalf("Xors = %d, want %d", len(g.Xors), len(f.Xors))
+	}
+	for i := range f.Xors {
+		a, b := f.Xors[i], g.Xors[i]
+		if a.Rhs != b.Rhs || len(a.Vars) != len(b.Vars) {
+			t.Fatalf("row %d mismatch: %v vs %v", i, a, b)
+		}
+		for j := range a.Vars {
+			if a.Vars[j] != b.Vars[j] {
+				t.Fatalf("row %d mismatch: %v vs %v", i, a, b)
+			}
+		}
+	}
+	if bruteCountCNF(f) != bruteCountCNF(g) {
+		t.Error("round trip changed the model count")
+	}
+}
+
+func TestDIMACSXorRoundTripEncoded(t *testing.T) {
+	c := circuit.New("x")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	g1 := c.AddGate(circuit.Xor, a, b)
+	g2 := c.AddGate(circuit.Xnor, g1, d)
+	c.AddOutput(g2, "y")
+	f, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bruteCountCNF(f) != bruteCountCNF(g) {
+		t.Error("round trip changed the model count")
+	}
+}
+
+func TestParseDIMACSXorErrors(t *testing.T) {
+	cases := []string{
+		"p cnf 2 1\nx 1 3 0\n", // xor literal out of range
+		"p cnf 2 1\nx 1 2\n",   // missing terminator
+		"p cnf 2 2\nx 1 2 0\n", // declared count includes x-lines
+		"p cnf 2 1\nx 1 y 0\n", // bad literal token
+	}
+	for i, s := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+	// "x 0" is the empty odd parity (0 = 1): kept, unsatisfiable.
+	f, err := ParseDIMACS(strings.NewReader("p cnf 1 1\nx 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Xors) != 1 || len(f.Xors[0].Vars) != 0 || !f.Xors[0].Rhs {
+		t.Fatalf("x 0 parsed wrong: %v", f.Xors)
+	}
+	if bruteCountCNF(f) != 0 {
+		t.Error("x 0 must be unsatisfiable")
+	}
+}
+
+func TestFormulaStringRendersXors(t *testing.T) {
+	f := &Formula{NumVars: 3}
+	f.AddXor(-1, true, 1, 2)
+	s := f.String()
+	if !strings.Contains(s, "v1 ^ v2") || !strings.Contains(s, "=1") {
+		t.Errorf("String output unexpected: %s", s)
+	}
+}

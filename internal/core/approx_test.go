@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"vacsem/internal/als"
+	"vacsem/internal/gen"
+	"vacsem/internal/testutil"
+)
+
+// ratWithinBand reports want/(1+eps) <= got <= want*(1+eps) in exact
+// rational arithmetic.
+func ratWithinBand(got, want *big.Rat, eps float64) bool {
+	band := new(big.Rat).SetFloat64(1 + eps)
+	hi := new(big.Rat).Mul(want, band)
+	lo := new(big.Rat).Mul(got, band) // got*(1+eps) >= want <=> got >= want/(1+eps)
+	return lo.Cmp(want) >= 0 && got.Cmp(hi) <= 0
+}
+
+// TestApproxAdderWithinEpsilon is the acceptance case of the approx
+// backend: ER of an 8-bit approximate adder pair at ε=0.1, δ=0.05 must
+// land within ε of the exact value, across seeded trials. Seeds are
+// fixed, so the XOR sampling is deterministic and the test cannot
+// flake.
+func TestApproxAdderWithinEpsilon(t *testing.T) {
+	exact := gen.RippleCarryAdder(8)
+	apx := als.LowerORAdder(8, 3)
+	ref, err := VerifyER(exact, apx, Options{Method: MethodVACSEM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := int64(4)
+	if testing.Short() || testutil.RaceEnabled {
+		// One seed keeps the acceptance parameters exercised without
+		// dominating the package runtime (δ=0.05 means 33 estimation
+		// rounds per trial; ~5x more under race instrumentation).
+		trials = 1
+	}
+	for seed := int64(0); seed < trials; seed++ {
+		res, err := VerifyER(exact, apx, Options{
+			Method: MethodApprox, Epsilon: 0.1, Delta: 0.05, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ratWithinBand(res.Value, ref.Value, 0.1) {
+			t.Errorf("seed %d: approx ER %s outside (1+0.1) band of exact %s",
+				seed, res.Value.RatString(), ref.Value.RatString())
+		}
+		if res.Approx {
+			if res.Epsilon != 0.1 {
+				t.Errorf("seed %d: Epsilon = %g, want 0.1", seed, res.Epsilon)
+			}
+			if res.Delta <= 0 || res.Delta >= 1 || res.Confidence != 1-res.Delta {
+				t.Errorf("seed %d: Delta/Confidence inconsistent: %g / %g",
+					seed, res.Delta, res.Confidence)
+			}
+		} else if res.Value.Cmp(ref.Value) != 0 {
+			t.Errorf("seed %d: exact-path approx %s != %s",
+				seed, res.Value.RatString(), ref.Value.RatString())
+		}
+	}
+}
+
+// TestApproxCrossValidatesExactBackends checks the approx backend
+// against every exact backend on small random circuit pairs (<= 16
+// inputs): each estimate must land within the (1+ε) band of the exact
+// value, which dpll, enum and bdd all agree on. The pairs are
+// independent random circuits with the same I/O signature, so their
+// deviation counts are large enough that at least some trials must go
+// through XOR hashing rather than the small-count exact shortcut.
+func TestApproxCrossValidatesExactBackends(t *testing.T) {
+	const eps = 0.8
+	trials := int64(8)
+	if testing.Short() {
+		trials = 3
+	}
+	hashed := 0
+	for seed := int64(0); seed < trials; seed++ {
+		n := 8 + int(seed%4)
+		c := testutil.RandomCircuit(n, 15+int(seed*5%25), 2, seed+6061)
+		apx := testutil.RandomCircuit(n, 15+int(seed*7%25), 2, seed+7207)
+		apx.Name = c.Name
+		est, err := VerifyER(c, apx, Options{
+			Method: MethodApprox, Epsilon: eps, Delta: 0.45, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Approx {
+			hashed++
+		}
+		for _, m := range []Method{MethodDPLL, MethodEnum, MethodBDD} {
+			ref, err := VerifyER(c, apx, Options{Method: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.Approx {
+				if !ratWithinBand(est.Value, ref.Value, eps) {
+					t.Errorf("seed %d: approx %s outside (1+%g) band of %v value %s",
+						seed, est.Value.RatString(), eps, m, ref.Value.RatString())
+				}
+			} else if est.Value.Cmp(ref.Value) != 0 {
+				t.Errorf("seed %d: exact-path approx %s != %v value %s",
+					seed, est.Value.RatString(), m, ref.Value.RatString())
+			}
+		}
+	}
+	if hashed == 0 {
+		t.Error("no trial exercised XOR hashing: every estimate took the exact shortcut")
+	}
+}
+
+// TestApproxSeedDeterminism: one Options.Seed reproduces the estimate
+// exactly, at any worker count — tasks derive their streams from the
+// seed and their task index, never from scheduling.
+func TestApproxSeedDeterminism(t *testing.T) {
+	exact := gen.RippleCarryAdder(6)
+	apx := als.LowerORAdder(6, 2)
+	opt := Options{Method: MethodApprox, Epsilon: 0.3, Delta: 0.3, Seed: 11, Workers: 1}
+	a, err := VerifyMED(exact, apx, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	b, err := VerifyMED(exact, apx, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value.Cmp(b.Value) != 0 || a.Count.Cmp(b.Count) != 0 {
+		t.Errorf("same seed, different estimates across worker counts: %s vs %s",
+			a.Value.RatString(), b.Value.RatString())
+	}
+	if a.Approx != b.Approx || a.Epsilon != b.Epsilon || a.Delta != b.Delta {
+		t.Errorf("approx metadata differs across worker counts: %+v vs %+v", a, b)
+	}
+}
+
+// TestApproxMethodNames pins the registry plumbing: the method name
+// resolves both ways and exact methods report Confidence 1.
+func TestApproxMethodNames(t *testing.T) {
+	if MethodApprox.String() != "approx" {
+		t.Errorf("MethodApprox.String() = %q", MethodApprox.String())
+	}
+	m, err := MethodByName("approx")
+	if err != nil || m != MethodApprox {
+		t.Errorf("MethodByName(approx) = %v, %v", m, err)
+	}
+	exact := gen.RippleCarryAdder(4)
+	apx := als.LowerORAdder(4, 2)
+	res, err := VerifyER(exact, apx, Options{Method: MethodVACSEM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approx || res.Confidence != 1 {
+		t.Errorf("exact result reports Approx=%v Confidence=%g", res.Approx, res.Confidence)
+	}
+}

@@ -3,9 +3,10 @@
 // shared base miter (Section II-B of the paper), resolves the
 // configured method to a verification backend (internal/engine), and
 // shapes the session's outcome into the metric-level API of the paper.
-// The four built-in backends cover the paper's contribution (the
-// simulation-enhanced counter) and its three comparison flows (plain
-// DPLL counting, exhaustive enumeration, ROBDDs).
+// The built-in backends cover the paper's contribution (the
+// simulation-enhanced counter), its three comparison flows (plain
+// DPLL counting, exhaustive enumeration, ROBDDs), and an (ε, δ)
+// approximate-counting mode (XOR streamlining over the same counter).
 //
 // VerifyMetrics verifies several metrics in one deduplicated session;
 // the single-metric Verify* functions are thin wrappers around it and
@@ -55,6 +56,12 @@ const (
 	// diagrams. It fails with ErrBDDTooLarge when the diagram explodes —
 	// the scalability wall the paper's footnote 2 describes.
 	MethodBDD
+	// MethodApprox is (ε, δ) approximate counting: each task's count is
+	// estimated by XOR streamlining (random parity constraints hashing
+	// the solution space into cells) plus exact cell counting, so the
+	// reported value is within a (1+ε) factor of the exact value with
+	// probability at least 1-δ. Options.Epsilon, Delta and Seed tune it.
+	MethodApprox
 )
 
 // String returns the method name, which doubles as the backend's key in
@@ -69,13 +76,15 @@ func (m Method) String() string {
 		return "enum"
 	case MethodBDD:
 		return "bdd"
+	case MethodApprox:
+		return "approx"
 	default:
 		return fmt.Sprintf("method(%d)", int(m))
 	}
 }
 
 // MethodByName resolves a method name ("vacsem", "dpll", "ganak",
-// "enum", "bdd") to its Method value, for CLI flag parsing.
+// "enum", "bdd", "approx") to its Method value, for CLI flag parsing.
 func MethodByName(name string) (Method, error) {
 	switch name {
 	case "vacsem":
@@ -86,6 +95,8 @@ func MethodByName(name string) (Method, error) {
 		return MethodEnum, nil
 	case "bdd":
 		return MethodBDD, nil
+	case "approx":
+		return MethodApprox, nil
 	default:
 		return 0, fmt.Errorf("core: unknown method %q (backends: %v)", name, engine.Names())
 	}
@@ -191,6 +202,18 @@ type Options struct {
 	// spreads the pattern-block range across. 0 means
 	// runtime.GOMAXPROCS(0); counts are bit-identical at any setting.
 	SimWorkers int
+	// Epsilon is MethodApprox's multiplicative tolerance: every task
+	// count is within a (1+ε) factor of the exact count with probability
+	// 1-δ. 0 means the ApproxMC default of 0.8. Exact methods ignore it.
+	Epsilon float64
+	// Delta is MethodApprox's per-task failure probability (0 means the
+	// default of 0.2). Exact methods ignore it.
+	Delta float64
+	// Seed drives every randomized path of the run — today MethodApprox's
+	// XOR sampling (each task derives its stream from Seed and its task
+	// index, so results are reproducible at any worker count). The exact
+	// methods are fully deterministic and ignore it.
+	Seed int64
 	// Progress, when non-nil, receives one event per completed metric
 	// output bit (possibly out of output order under concurrency; calls
 	// are serialized). The callback must not block.
@@ -212,6 +235,9 @@ func (o *Options) engineConfig() engine.Config {
 		BDDNodeLimit:    o.BDDNodeLimit,
 		Workers:         o.Workers,
 		SimWorkers:      o.SimWorkers,
+		Epsilon:         o.Epsilon,
+		Delta:           o.Delta,
+		Seed:            o.Seed,
 	}
 }
 
@@ -234,6 +260,16 @@ type Result struct {
 	// Deduplicated bits carry zero Stats (the owning bit reports them),
 	// so the sum counts each task's work exactly once.
 	TotalStats counter.Stats
+	// Approx marks a value estimated by MethodApprox rather than
+	// computed exactly. Epsilon is then the largest per-task tolerance —
+	// the weighted numerator is a sum of nonnegative terms, so it is
+	// within a (1+Epsilon) factor of the exact numerator whenever every
+	// term is — and Delta bounds the probability that any term misses
+	// its band (union bound over the metric's distinct approximate
+	// tasks). Confidence is 1-Delta; exact results report Confidence 1.
+	Approx         bool
+	Epsilon, Delta float64
+	Confidence     float64
 }
 
 // Float returns the metric value as a float64 (inexact for huge MEDs).
@@ -452,6 +488,33 @@ func mapErr(ctx context.Context, err error) error {
 	return err
 }
 
+// approxBand aggregates the per-task (ε, δ) guarantees of a metric's
+// bits. The metric tolerance is the largest per-task epsilon (a sum of
+// nonnegative weighted counts lands in the (1+ε) band when every term
+// does), and the failure probability is the union bound 1 - Π(1-δ_t)
+// over the metric's distinct approximate tasks — shared bits reuse one
+// task's estimate, so each task contributes its δ once.
+func approxBand(subs []SubResult) (approx bool, eps, delta float64) {
+	okProb := 1.0
+	seen := make(map[int]bool)
+	for i := range subs {
+		s := &subs[i]
+		if !s.Approx || seen[s.Task] {
+			continue
+		}
+		seen[s.Task] = true
+		approx = true
+		if s.Epsilon > eps {
+			eps = s.Epsilon
+		}
+		okProb *= 1 - s.Delta
+	}
+	if approx {
+		delta = 1 - okProb
+	}
+	return approx, eps, delta
+}
+
 // runPlan executes a compiled plan on a backend and shapes the outcome
 // into the session result. Each session is one "session" trace span
 // (already opened by the caller); the plan, backend and sub_miter spans
@@ -495,6 +558,11 @@ func runPlan(ctx context.Context, p *plan.Plan, be engine.Backend, opt Options, 
 			Runtime:    sr.Runtime,
 			TotalStats: mo.Stats,
 			Value:      new(big.Rat).SetFrac(new(big.Int).Set(mo.Count), denom),
+			Confidence: 1,
+		}
+		if ap, eps, delta := approxBand(mo.Subs); ap {
+			res.Approx, res.Epsilon, res.Delta = true, eps, delta
+			res.Confidence = 1 - delta
 		}
 		sr.Results[i] = res
 		sr.TotalStats.Add(mo.Stats)

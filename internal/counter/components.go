@@ -8,11 +8,13 @@ import (
 )
 
 // component is a maximal set of free variables connected through active
-// (not-yet-satisfied) clauses, together with those clauses. Components
-// share no variables, so their counts multiply (Algorithm 1, line 11).
+// (not-yet-satisfied) clauses and active parity rows, together with
+// those constraints. Components share no variables, so their counts
+// multiply (Algorithm 1, line 11).
 type component struct {
 	vars    []int32 // free variables, sorted
 	clauses []int32 // active clause indices, sorted
+	xors    []int32 // active xor row indices, sorted
 }
 
 // findComponents partitions the given candidate variables into connected
@@ -67,9 +69,27 @@ func (s *Solver) findComponents(vars []int32) (comps []*component, freeCount int
 					}
 				}
 			}
+			for _, xi := range s.xorOcc[v] {
+				// A fully assigned row constrains nothing further; rows
+				// with free variables connect them like clauses do.
+				if s.xorFree[xi] == 0 || s.xorSeen[xi] == stamp {
+					continue
+				}
+				s.xorSeen[xi] = stamp
+				comp.xors = append(comp.xors, xi)
+				for _, w := range s.xors[xi].Vars {
+					if s.assign[w] != unassigned || s.varSeen[w] == stamp {
+						continue
+					}
+					s.varSeen[w] = stamp
+					comp.vars = append(comp.vars, w)
+					queue = append(queue, w)
+				}
+			}
 		}
 		sort.Slice(comp.vars, func(i, j int) bool { return comp.vars[i] < comp.vars[j] })
 		sort.Slice(comp.clauses, func(i, j int) bool { return comp.clauses[i] < comp.clauses[j] })
+		sort.Slice(comp.xors, func(i, j int) bool { return comp.xors[i] < comp.xors[j] })
 		comps = append(comps, comp)
 	}
 	return comps, freeCount
@@ -86,7 +106,7 @@ func (s *Solver) hasActiveClause(v int32) bool {
 			return true
 		}
 	}
-	return false
+	return s.hasActiveXor(v)
 }
 
 // cacheKey canonicalizes the residual component into a solver-independent
@@ -101,6 +121,14 @@ func (s *Solver) hasActiveClause(v int32) bool {
 // formulas (the shared cross-sub-miter cache). Clause ids never enter
 // the key, so the historic wide-clause position-mask aliasing cannot
 // recur by construction.
+//
+// Active parity rows are serialized into a second section after the
+// clause tuples: per row a header uvarint(len<<1 | rhs) — rhs being the
+// row's *effective* right-hand side under the current assignment — then
+// the sorted local ranks of its free variables, rows sorted
+// lexicographically. The xor section is always appended, prefixed with
+// the row count, so a CNF-only residual and a CNF+XOR residual over the
+// same clause tuples can never alias.
 func (s *Solver) cacheKey(comp *component) string {
 	for i, v := range comp.vars {
 		s.varRank[v] = int32(i)
@@ -128,6 +156,31 @@ func (s *Solver) cacheKey(comp *component) string {
 	buf := s.keyBuf[:0]
 	for _, seg := range cls {
 		buf = binary.AppendUvarint(buf, uint64(len(seg)))
+		for _, code := range seg {
+			buf = binary.AppendUvarint(buf, uint64(code))
+		}
+	}
+	// XOR section: canonical rows (free-variable ranks + effective rhs),
+	// sorted, always present so clause-only keys cannot alias mixed ones.
+	xrs := make([][]int32, 0, len(comp.xors))
+	for _, xi := range comp.xors {
+		start := len(lits)
+		for _, v := range s.xors[xi].Vars {
+			if s.assign[v] != unassigned {
+				continue
+			}
+			lits = append(lits, s.varRank[v]) // row Vars sorted => ranks sorted
+		}
+		seg := lits[start:len(lits):len(lits)]
+		hdr := int32(len(seg)) << 1
+		if s.xors[xi].Rhs != (s.xorPar[xi] == 1) {
+			hdr |= 1
+		}
+		xrs = append(xrs, append([]int32{hdr}, seg...))
+	}
+	sort.Slice(xrs, func(i, j int) bool { return slices.Compare(xrs[i], xrs[j]) < 0 })
+	buf = binary.AppendUvarint(buf, uint64(len(xrs)))
+	for _, seg := range xrs {
 		for _, code := range seg {
 			buf = binary.AppendUvarint(buf, uint64(code))
 		}
@@ -161,6 +214,13 @@ func (s *Solver) solveComponent(comp *component) *big.Int {
 			}
 			return v
 		}
+	}
+	if cnt, ok := s.tryGauss(comp); ok {
+		if cnt == nil { // cancelled during the recursive solve
+			return nil
+		}
+		s.cacheStore(key, cnt)
+		return cnt
 	}
 	if cnt, ok := s.trySimulate(comp); ok {
 		if cnt == nil { // cancelled mid-simulation
@@ -245,6 +305,19 @@ func (s *Solver) pickVar(comp *component) int32 {
 			x := litVar(l)
 			if s.assign[x] == unassigned {
 				score[x] += w
+			}
+		}
+	}
+	// Parity rows score like clauses: a row down to two free variables
+	// propagates immediately when one of them is decided.
+	for _, xi := range comp.xors {
+		w := 2
+		if s.xorFree[xi] == 2 {
+			w = 4
+		}
+		for _, l := range s.xors[xi].Vars {
+			if s.assign[l] == unassigned {
+				score[l] += w
 			}
 		}
 	}

@@ -128,6 +128,14 @@ type Stats struct {
 	FailedLiterals uint64
 	// Learned counts clauses added by conflict analysis.
 	Learned uint64
+	// XorPropagations counts literals forced by native XOR rows (a row
+	// with one free variable determines it).
+	XorPropagations uint64
+	// GaussReductions counts components the Gaussian-elimination
+	// propagator concluded or simplified: a parity contradiction, a pure
+	// parity subsystem counted in closed form, or derived unit rows
+	// asserted before branching.
+	GaussReductions uint64
 }
 
 // Add accumulates other into s field by field. It is the aggregation
@@ -148,6 +156,8 @@ func (s *Stats) Add(other Stats) {
 	s.SimPatterns += other.SimPatterns
 	s.FailedLiterals += other.FailedLiterals
 	s.Learned += other.Learned
+	s.XorPropagations += other.XorPropagations
+	s.GaussReductions += other.GaussReductions
 }
 
 // Diff returns the field-wise difference s - prev. It is the inverse of
@@ -155,18 +165,20 @@ func (s *Stats) Add(other Stats) {
 // periodic "stats" snapshot-delta events.
 func (s Stats) Diff(prev Stats) Stats {
 	return Stats{
-		Decisions:      s.Decisions - prev.Decisions,
-		Propagations:   s.Propagations - prev.Propagations,
-		Components:     s.Components - prev.Components,
-		CacheHits:      s.CacheHits - prev.CacheHits,
-		CacheStores:    s.CacheStores - prev.CacheStores,
-		CacheCrossHits: s.CacheCrossHits - prev.CacheCrossHits,
-		CacheEvictions: s.CacheEvictions - prev.CacheEvictions,
-		SimCalls:       s.SimCalls - prev.SimCalls,
-		SimRejected:    s.SimRejected - prev.SimRejected,
-		SimPatterns:    s.SimPatterns - prev.SimPatterns,
-		FailedLiterals: s.FailedLiterals - prev.FailedLiterals,
-		Learned:        s.Learned - prev.Learned,
+		Decisions:       s.Decisions - prev.Decisions,
+		Propagations:    s.Propagations - prev.Propagations,
+		Components:      s.Components - prev.Components,
+		CacheHits:       s.CacheHits - prev.CacheHits,
+		CacheStores:     s.CacheStores - prev.CacheStores,
+		CacheCrossHits:  s.CacheCrossHits - prev.CacheCrossHits,
+		CacheEvictions:  s.CacheEvictions - prev.CacheEvictions,
+		SimCalls:        s.SimCalls - prev.SimCalls,
+		SimRejected:     s.SimRejected - prev.SimRejected,
+		SimPatterns:     s.SimPatterns - prev.SimPatterns,
+		FailedLiterals:  s.FailedLiterals - prev.FailedLiterals,
+		Learned:         s.Learned - prev.Learned,
+		XorPropagations: s.XorPropagations - prev.XorPropagations,
+		GaussReductions: s.GaussReductions - prev.GaussReductions,
 	}
 }
 
@@ -190,17 +202,26 @@ type Solver struct {
 	nFalse  []int32   // clause -> count of falsified literals
 	propQ   []propItem
 
+	// native XOR rows (see xor.go): parity constraints tracked alongside
+	// the clause database with their own free-count/parity watches.
+	xors    []cnf.XorClause
+	xorOcc  [][]int32 // var -> xor row ids
+	xorFree []int32   // row -> number of unassigned vars
+	xorPar  []uint8   // row -> parity (0/1) of assigned-true vars
+
 	// clause-learning state
-	reason     []int32 // var -> clause that propagated it (reasonDecision/reasonAsserted)
-	level      []int32 // var -> decision level at assignment
-	curLevel   int32
-	conflictCl int32 // last conflicting clause, -1 if none
-	learned    int   // learned-clause count
+	reason      []int32 // var -> clause that propagated it (or a pseudo-reason)
+	level       []int32 // var -> decision level at assignment
+	curLevel    int32
+	conflictCl  int32      // last conflicting clause or xor pseudo-reason, -1 if none
+	learned     int        // learned-clause count
+	xorReasonCl cnf.Clause // scratch for xorImplicate materialization
 
 	// component discovery scratch (stamp-based visited marks)
 	stamp   uint32
 	varSeen []uint32
 	clSeen  []uint32
+	xorSeen []uint32
 
 	// cache: either Config.Cache (shared across solvers) or a private
 	// Cache built per Count call; nil when caching is disabled.
@@ -212,9 +233,14 @@ type Solver struct {
 	keyBuf  []byte    // serialized key
 
 	// sim hook scratch
-	gateSeen  []uint32
-	nodeSeen  []uint32
-	compClSet []uint32 // stamp: clause belongs to current component
+	gateSeen   []uint32
+	nodeSeen   []uint32
+	compClSet  []uint32 // stamp: clause belongs to current component
+	compXorSet []uint32 // stamp: xor row belongs to current component
+
+	// Gaussian-elimination scratch (see xor.go)
+	gaussRows [][]uint64
+	gaussRhs  []bool
 
 	stats    Stats
 	ctx      context.Context // active cancellation source (nil = none)
@@ -237,11 +263,21 @@ type propItem struct {
 	reason int32
 }
 
-// Pseudo-reasons for assignments with no antecedent clause.
+// Pseudo-reasons for assignments with no antecedent clause. Reasons at
+// or below reasonXor encode the native XOR row that forced the
+// assignment (row index reasonXor - r), so conflict analysis can
+// materialize the row's CNF implicate and resolve through it.
 const (
 	reasonDecision int32 = -1 // branching decision (or probe)
 	reasonAsserted int32 = -2 // forced by implicit BCP (no single clause)
+	reasonXor      int32 = -3 // forced by native XOR row reasonXor - r
 )
+
+// xorReason encodes xor row xi as a pseudo-reason.
+func xorReason(xi int) int32 { return reasonXor - int32(xi) }
+
+// xorRowOf decodes a pseudo-reason r <= reasonXor back to its row.
+func xorRowOf(r int32) int { return int(reasonXor - r) }
 
 // New creates a solver for the formula.
 func New(f *cnf.Formula, cfg Config) *Solver {
@@ -266,6 +302,17 @@ func New(f *cnf.Formula, cfg Config) *Solver {
 	s.varSeen = make([]uint32, f.NumVars+1)
 	s.clSeen = make([]uint32, len(s.clauses))
 	s.compClSet = make([]uint32, len(s.clauses))
+	s.xors = append([]cnf.XorClause(nil), f.Xors...)
+	s.xorOcc = make([][]int32, f.NumVars+1)
+	for xi, x := range s.xors {
+		for _, v := range x.Vars {
+			s.xorOcc[v] = append(s.xorOcc[v], int32(xi))
+		}
+	}
+	s.xorFree = make([]int32, len(s.xors))
+	s.xorPar = make([]uint8, len(s.xors))
+	s.xorSeen = make([]uint32, len(s.xors))
+	s.compXorSet = make([]uint32, len(s.xors))
 	if f.Circ != nil {
 		s.gateSeen = make([]uint32, len(f.Circ.Nodes))
 		s.nodeSeen = make([]uint32, len(f.Circ.Nodes))
@@ -343,6 +390,9 @@ func (s *Solver) CountCtx(ctx context.Context) (*big.Int, error) {
 			}
 		}
 	}
+	if !s.queueXorUnits() {
+		return big.NewInt(0), nil
+	}
 	if !s.propagate() {
 		return big.NewInt(0), nil
 	}
@@ -388,6 +438,10 @@ func (s *Solver) reset() {
 	for i := range s.nTrue {
 		s.nTrue[i] = 0
 		s.nFalse[i] = 0
+	}
+	for i := range s.xors {
+		s.xorFree[i] = int32(len(s.xors[i].Vars))
+		s.xorPar[i] = 0
 	}
 	s.trail = s.trail[:0]
 	s.propQ = s.propQ[:0]
@@ -480,6 +534,9 @@ func (s *Solver) assertLit(lit, why int32) bool {
 			}
 		}
 	}
+	if !s.updateXorsOnAssign(v, want == 1) {
+		conflict = true
+	}
 	return !conflict
 }
 
@@ -506,15 +563,23 @@ func (s *Solver) propagate() bool {
 // invisible to component analysis. Analysis bails out harmlessly on
 // pseudo-reasons (probe-forced literals).
 func (s *Solver) learnFromConflict() {
-	if s.cfg.DisableLearning || s.curLevel == 0 || s.conflictCl < 0 ||
+	if s.cfg.DisableLearning || s.curLevel == 0 ||
 		s.learned >= s.cfg.MaxLearned {
+		return
+	}
+	var cl cnf.Clause
+	switch {
+	case s.conflictCl >= 0:
+		cl = s.clauses[s.conflictCl]
+	case s.conflictCl <= reasonXor:
+		cl = s.xorImplicate(xorRowOf(s.conflictCl))
+	default:
 		return
 	}
 	s.stamp++
 	st := s.stamp
 	var lits []int32
 	counter := 0
-	cl := s.clauses[s.conflictCl]
 	idx := len(s.trail) - 1
 	for {
 		for _, l := range cl {
@@ -553,10 +618,14 @@ func (s *Solver) learnFromConflict() {
 			break
 		}
 		r := s.reason[v]
-		if r < 0 {
+		switch {
+		case r >= 0:
+			cl = s.clauses[r]
+		case r <= reasonXor:
+			cl = s.xorImplicate(xorRowOf(r))
+		default:
 			return // probe-forced or decision inside analysis: skip learning
 		}
-		cl = s.clauses[r]
 	}
 	if len(lits) == 0 || len(lits) > 8 {
 		return // empty or too weak to be worth the BCP cost
@@ -611,6 +680,12 @@ func (s *Solver) undoTo(mark int) {
 		}
 		for _, ci := range s.occ[litIndex(-lit)] {
 			s.nFalse[ci]--
+		}
+		for _, xi := range s.xorOcc[v] {
+			s.xorFree[xi]++
+			if lit > 0 {
+				s.xorPar[xi] ^= 1
+			}
 		}
 	}
 	s.propQ = s.propQ[:0]

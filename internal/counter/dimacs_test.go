@@ -38,6 +38,17 @@ patterns:
 				continue patterns
 			}
 		}
+		for _, xr := range f.Xors {
+			par := false
+			for _, v := range xr.Vars {
+				if x>>(uint(v)-1)&1 == 1 {
+					par = !par
+				}
+			}
+			if par != xr.Rhs {
+				continue patterns
+			}
+		}
 		count++
 	}
 	return count

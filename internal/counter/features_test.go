@@ -137,7 +137,10 @@ func TestMinSimGatesGatesTheController(t *testing.T) {
 		cur = c.AddGate(circuit.Xor, cur, a)
 	}
 	c.AddOutput(cur, "y")
-	f, err := cnf.Encode(c)
+	// The blasted encoding keeps the XOR gates as clause sets, so the
+	// component actually reaches the simulation controller (natively the
+	// Gauss pass counts this pure parity chain in closed form first).
+	f, err := cnf.EncodeBlasted(c)
 	if err != nil {
 		t.Fatal(err)
 	}

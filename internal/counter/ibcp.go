@@ -31,6 +31,13 @@ func (s *Solver) inActiveBinary(v int32) bool {
 			}
 		}
 	}
+	// An xor row down to two free variables propagates on either probe
+	// phase, exactly like a binary clause.
+	for _, xi := range s.xorOcc[v] {
+		if s.xorFree[xi] == 2 {
+			return true
+		}
+	}
 	return false
 }
 

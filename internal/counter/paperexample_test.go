@@ -99,11 +99,12 @@ func TestFig2SATn19(t *testing.T) {
 	// density = 2*5/… with all six inputs free — the top-level call sees
 	// K=6, G=5, density 2*5/36 < 1, so DPLL decides first and simulation
 	// kicks in on residual components. Verify simulation fires at all
-	// with a forced alpha.
+	// with a forced alpha. This is a property of the blasted encoding:
+	// native XOR rows hand the chain to Gaussian elimination instead.
 	cc := c.Clone()
 	cc.SetOutputs(ids["n19"])
 	cone, _ := cc.ExtractCone(0)
-	f, err := cnf.Encode(cone)
+	f, err := cnf.EncodeBlasted(cone)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,6 +118,26 @@ func TestFig2SATn19(t *testing.T) {
 	}
 	if s.Stats().SimCalls == 0 {
 		t.Errorf("simulation never fired on the XOR chain with alpha=16")
+	}
+	// With the native encoding the same cone is a pure parity system:
+	// the Gauss pass must count it in closed form, with zero decisions.
+	fn, err := cnf.Encode(cone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := New(fn, Config{})
+	n2, err := sn.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Cmp(big.NewInt(32)) != 0 {
+		t.Fatalf("native count = %v, want 32", n2)
+	}
+	if sn.Stats().GaussReductions == 0 {
+		t.Errorf("Gauss pass never fired on the native XOR chain: %+v", sn.Stats())
+	}
+	if sn.Stats().Decisions != 0 {
+		t.Errorf("native XOR chain needed %d decisions, want 0", sn.Stats().Decisions)
 	}
 }
 
@@ -134,10 +155,12 @@ func TestFig2SATn20Total(t *testing.T) {
 
 // TestTableIClauseSets reproduces Example 1 / Table I: the consistency
 // clause sets of the gates, in topological order, with the one-to-one
-// gate<->clause-set mapping.
+// gate<->clause-set mapping. Table I documents the clause-level
+// consistency functions, so this golden test uses the blasted encoding;
+// the native encoding represents C15..C19 as parity rows instead.
 func TestTableIClauseSets(t *testing.T) {
 	c, ids := fig2()
-	f, err := cnf.Encode(c)
+	f, err := cnf.EncodeBlasted(c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +242,9 @@ outer:
 // patterns (shaded in Table II).
 func TestExample234ConsistentPatterns(t *testing.T) {
 	c, ids := fig2()
-	f, err := cnf.EncodeOpen(c)
+	// Table II presents Ckt3 through its clause sets, so the golden test
+	// conditions the blasted encoding (EncodeOpen emits native rows).
+	f, err := cnf.EncodeOpenBlasted(c)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,6 +44,9 @@ func (s *Solver) SatisfiableCtx(ctx context.Context) (bool, error) {
 			}
 		}
 	}
+	if !s.queueXorUnits() {
+		return false, nil
+	}
 	if !s.propagate() {
 		return false, nil
 	}
@@ -82,6 +85,13 @@ func (s *Solver) satComponent(comp *component) (bool, bool) {
 			}
 			return v.Sign() != 0, true
 		}
+	}
+	if cnt, ok := s.tryGauss(comp); ok {
+		if cnt == nil { // cancelled during the recursive solve
+			return false, false
+		}
+		s.cacheStore(key, cnt)
+		return cnt.Sign() != 0, true
 	}
 	if cnt, ok := s.trySimulate(comp); ok {
 		if cnt == nil { // cancelled mid-simulation

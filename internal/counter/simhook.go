@@ -26,17 +26,18 @@ func (s *Solver) trySimulate(comp *component) (*big.Int, bool) {
 	if !s.cfg.EnableSim || s.f.Circ == nil {
 		return nil, false
 	}
-	// Cheap size pre-check: every gate contributes at least two clauses,
-	// so a component with fewer than 2*MinSimGates clauses cannot reach
-	// the minimum sub-circuit size — skip the gate mapping entirely.
-	// (This fires for nearly every small residual component, so its
-	// trace events are sampled; the later rejections are not.)
-	if len(comp.clauses) < 2*s.cfg.MinSimGates {
+	// Cheap size pre-check: a gate contributes at least two clauses or
+	// one native parity row, so a component whose clauses and rows
+	// cannot reach the minimum sub-circuit size skips the gate mapping
+	// entirely. (This fires for nearly every small residual component,
+	// so its trace events are sampled; the later rejections are not.)
+	if len(comp.clauses)+2*len(comp.xors) < 2*s.cfg.MinSimGates {
 		return s.rejectSim(true, "few_clauses", 0, 0, 0)
 	}
 	circ := s.f.Circ
 
-	// 1. Map the component's clauses back to gates (unique node ids).
+	// 1. Map the component's clauses and parity rows back to gates
+	// (unique node ids).
 	s.stamp++
 	stamp := s.stamp
 	for _, v := range comp.vars {
@@ -56,15 +57,33 @@ func (s *Solver) trySimulate(comp *component) (*big.Int, bool) {
 		}
 		s.compClSet[ci] = stamp
 	}
+	for _, xi := range comp.xors {
+		g := s.f.GateOfXor[xi]
+		if g < 0 {
+			// A parity row with no gate (parsed x-line, streamlining hash
+			// row) has no circuit structure to simulate.
+			return s.rejectSim(false, "unmapped_clause", len(gates), 0, 0)
+		}
+		if s.gateSeen[g] != stamp {
+			s.gateSeen[g] = stamp
+			gates = append(gates, g)
+		}
+		s.compXorSet[xi] = stamp
+	}
 
-	// 2. Completeness guard: every still-active clause of every mapped
-	// gate must belong to this component, otherwise simulating the full
-	// gate consistency would over-constrain the component. (For the
-	// standard encodings this holds by construction; the guard keeps the
-	// counter sound for any clause layout.)
+	// 2. Completeness guard: every still-active clause and parity row of
+	// every mapped gate must belong to this component, otherwise
+	// simulating the full gate consistency would over-constrain the
+	// component. (For the standard encodings this holds by construction;
+	// the guard keeps the counter sound for any clause layout.)
 	for _, g := range gates {
 		for _, ci := range s.f.ClausesOfGate[g] {
 			if s.nTrue[ci] == 0 && s.compClSet[ci] != stamp {
+				return s.rejectSim(false, "foreign_clause", len(gates), 0, 0)
+			}
+		}
+		for _, xi := range s.f.XorsOfGate[g] {
+			if s.xorFree[xi] > 0 && s.compXorSet[xi] != stamp {
 				return s.rejectSim(false, "foreign_clause", len(gates), 0, 0)
 			}
 		}

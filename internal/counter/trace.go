@@ -30,6 +30,8 @@ var (
 	mSimPatterns    = obs.Default.Counter("counter.sim_patterns")
 	mFailedLiterals = obs.Default.Counter("counter.failed_literals")
 	mLearnedClauses = obs.Default.Counter("counter.learned_clauses")
+	mXorProps       = obs.Default.Counter("counter.xor_propagations")
+	mGaussReduce    = obs.Default.Counter("counter.gauss_reductions")
 	mCounts         = obs.Default.Counter("counter.count_calls")
 	hSimSeconds     = obs.Default.Histogram("counter.sim_component_seconds", nil)
 )
@@ -50,6 +52,8 @@ func (s *Solver) finishObs() {
 	mSimPatterns.Add(s.stats.SimPatterns)
 	mFailedLiterals.Add(s.stats.FailedLiterals)
 	mLearnedClauses.Add(s.stats.Learned)
+	mXorProps.Add(s.stats.XorPropagations)
+	mGaussReduce.Add(s.stats.GaussReductions)
 	if s.tr != nil {
 		if delta := s.stats.Diff(s.lastEmit); delta != (Stats{}) {
 			s.lastEmit = s.stats
@@ -67,6 +71,7 @@ func (s *Solver) traceComponent(comp *component) {
 	}
 	s.tr.Event(s.span, "component", obs.Fields{
 		"seq": s.hotTick, "vars": len(comp.vars), "clauses": len(comp.clauses),
+		"xors": len(comp.xors),
 	})
 	delta := s.stats.Diff(s.lastEmit)
 	s.lastEmit = s.stats

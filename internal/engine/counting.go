@@ -27,15 +27,20 @@ var (
 // single-output sub-miter (Phase 1's split, performed by the plan
 // layer) handed to the model counter (Phase 2). With enableSim it is
 // the VACSEM engine; without, the plain-DPLL baseline (the GANAK role).
+// With approx it is the (ε, δ) backend: each task's count is estimated
+// by XOR streamlining (counter.ApproxCount) instead of counted exactly.
 //
 // Tasks are independent #SAT problems, so the backend solves them on a
 // bounded worker pool (Config.Workers). Each worker builds its own
-// Solver, so counts are bit-identical to the sequential run; results
+// Solver, so counts are bit-identical to the sequential run (the approx
+// backend derives each task's random stream from Config.Seed and the
+// task index, so its estimates are equally order-independent); results
 // are collected by task index, making the result slice deterministic
 // regardless of completion order.
 type countingBackend struct {
 	name      string
 	enableSim bool
+	approx    bool
 }
 
 func (b *countingBackend) Name() string { return b.name }
@@ -114,6 +119,7 @@ func (b *countingBackend) Execute(ctx context.Context, req *Request) ([]TaskResu
 					Count: tres.Count,
 					Done:  doneN, Total: len(req.Tasks),
 					Runtime: tres.Runtime, Stats: tres.Stats, Trivial: tres.Trivial,
+					Approx: tres.Approx,
 				})
 				progMu.Unlock()
 			}
@@ -198,7 +204,7 @@ func (b *countingBackend) solveTask(ctx context.Context, req *Request, j int, ca
 		if err != nil {
 			return res, err
 		}
-		s := counter.New(f, counter.Config{
+		solverCfg := counter.Config{
 			EnableSim:       b.enableSim,
 			Alpha:           req.Config.Alpha,
 			MaxSimVars:      req.Config.MaxSimVars,
@@ -208,19 +214,69 @@ func (b *countingBackend) solveTask(ctx context.Context, req *Request, j int, ca
 			DisableLearning: req.Config.DisableLearning,
 			Cache:           cache,
 			CacheOwner:      int32(j) + 1,
-		})
+		}
 		var cnt *big.Int
-		cnt, err = s.CountCtx(ctx)
-		res.Stats = s.Stats()
+		if b.approx {
+			cnt, err = b.approxTask(ctx, req, j, f, solverCfg, &res)
+		} else {
+			s := counter.New(f, solverCfg)
+			cnt, err = s.CountCtx(ctx)
+			res.Stats = s.Stats()
+		}
 		if err != nil {
 			// Propagate verbatim: context errors, encode errors and any
 			// future counter failure all keep their identity (the old
 			// flow conflated everything into a timeout).
 			return res, err
 		}
-		// Scale by inputs outside the encoded cone.
+		// Scale by inputs outside the encoded cone. The approx estimate
+		// scales the same way: the un-encoded inputs are free, so the
+		// relative (1+ε) band is preserved by the power-of-two factor.
 		extra := totalInputs - f.NumEncodedInputs()
 		res.Count.Lsh(cnt, uint(extra))
 	}
 	return res, nil
+}
+
+// approxTask estimates one task's count with counter.ApproxCount. The
+// hash support is the sub-miter's encoded primary inputs — a Tseitin
+// formula's models are determined by its input projection, so the input
+// set is an independent support and hashing over it is sound (and far
+// cheaper than hashing over all gate variables). The task's random
+// stream is derived from the session seed and the task index, never
+// from worker identity or completion order.
+func (b *countingBackend) approxTask(ctx context.Context, req *Request, j int, f *cnf.Formula, solverCfg counter.Config, res *TaskResult) (*big.Int, error) {
+	var inputs []int32
+	for _, id := range f.Circ.Inputs {
+		if v := f.VarOfNode[id]; v != 0 {
+			inputs = append(inputs, v)
+		}
+	}
+	ar, err := counter.ApproxCount(ctx, f, counter.ApproxConfig{
+		Epsilon:  req.Config.Epsilon,
+		Delta:    req.Config.Delta,
+		Seed:     taskSeed(req.Config.Seed, j),
+		Sampling: inputs,
+		Solver:   solverCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = ar.Stats
+	if !ar.Exact {
+		res.Approx = true
+		res.Epsilon = ar.Epsilon
+		res.Delta = ar.Delta
+	}
+	return ar.Count, nil
+}
+
+// taskSeed mixes the session seed with a task index (splitmix64-style
+// golden-ratio stepping), so sibling tasks draw independent-looking
+// streams from one user-visible seed.
+func taskSeed(seed int64, j int) int64 {
+	z := uint64(seed) + uint64(j+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }

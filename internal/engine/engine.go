@@ -2,10 +2,11 @@
 // stack. A Backend executes a verification session: a list of prepared
 // single-output counting tasks (built and deduplicated by the plan
 // layer, internal/plan) plus the combined session miter the tasks were
-// cut from. The four built-in backends wrap the repository's existing
-// flows (the simulation-enhanced counter, the plain DPLL counter,
-// exhaustive enumeration, and the prior-art ROBDD flow) behind one
-// interface, registered by name in a small registry.
+// cut from. The built-in backends wrap the repository's existing flows
+// (the simulation-enhanced counter, the plain DPLL counter, exhaustive
+// enumeration, the prior-art ROBDD flow, and (ε, δ) approximate
+// counting by XOR streamlining) behind one interface, registered by
+// name in a small registry.
 //
 // internal/core resolves its Options.Method through this registry
 // instead of a hard-coded switch, so new engines (sharded counting,
@@ -73,6 +74,18 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 forces serial enumeration. Counts are
 	// bit-identical at any setting.
 	SimWorkers int
+	// Epsilon is the multiplicative tolerance of the approx backend:
+	// each task's count is within a (1+ε) factor of the exact count with
+	// probability 1-δ. 0 means the ApproxMC default of 0.8. Exact
+	// backends ignore it.
+	Epsilon float64
+	// Delta is the per-task failure probability of the approx backend.
+	// 0 means the default of 0.2. Exact backends ignore it.
+	Delta float64
+	// Seed makes the approx backend's XOR sampling deterministic. Each
+	// task derives its own stream from Seed and its task index, so
+	// results are reproducible at any worker count.
+	Seed int64
 }
 
 // CountTask is one single-output weighted-counting job of a session:
@@ -127,6 +140,14 @@ type TaskResult struct {
 	Runtime time.Duration
 	Stats   counter.Stats
 	Trivial bool // solved by constant propagation alone
+	// Approx marks a count estimated by XOR streamlining rather than
+	// computed exactly; Epsilon and Delta are then its tolerance and
+	// failure probability (Count is within a (1+Epsilon) factor of the
+	// exact count with probability 1-Delta). The approx backend clears
+	// Approx on tasks it happened to solve exactly (small cell counts),
+	// so exactness is per task, not per backend.
+	Approx         bool
+	Epsilon, Delta float64
 }
 
 // TaskEvent reports the completion of one task.
@@ -142,6 +163,8 @@ type TaskEvent struct {
 	Runtime     time.Duration
 	Stats       counter.Stats
 	Trivial     bool
+	// Approx marks an (ε, δ)-estimated count (see TaskResult.Approx).
+	Approx bool
 }
 
 // TaskProgressFunc observes per-task completion events.

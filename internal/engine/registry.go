@@ -54,6 +54,7 @@ func namesLocked() []string {
 func init() {
 	Register(&countingBackend{name: "vacsem", enableSim: true})
 	Register(&countingBackend{name: "dpll", enableSim: false})
+	Register(&countingBackend{name: "approx", enableSim: true, approx: true})
 	Register(enumBackend{})
 	Register(bddBackend{})
 }

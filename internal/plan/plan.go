@@ -470,6 +470,8 @@ type ProgressEvent struct {
 	Runtime time.Duration
 	Stats   counter.Stats
 	Trivial bool
+	// Approx marks an (ε, δ)-estimated count (the approx backend).
+	Approx bool
 }
 
 // ProgressFunc observes per-bit completion events.
@@ -492,6 +494,14 @@ type SubResult struct {
 	Shared bool
 	// Task is the session task index that produced Count.
 	Task int
+	// Approx marks a Count estimated by XOR streamlining rather than
+	// counted exactly; Epsilon and Delta are then the estimate's
+	// tolerance and failure probability (Count is within a (1+Epsilon)
+	// factor of the exact count with probability 1-Delta). Shared bits
+	// carry the same flags as their owning task — the count itself is
+	// approximate no matter which bit reports it.
+	Approx         bool
+	Epsilon, Delta float64
 }
 
 // MetricOutcome is one metric's assembled result.
@@ -538,6 +548,7 @@ func (p *Plan) Run(ctx context.Context, be engine.Backend, cfg engine.Config, pr
 					SessionDone: te.Done, SessionTotal: te.Total,
 					Shared:  !m.Owner[r.output],
 					Trivial: te.Trivial,
+					Approx:  te.Approx,
 				}
 				if m.Owner[r.output] {
 					ev.Runtime, ev.Stats = te.Runtime, te.Stats
@@ -573,6 +584,9 @@ func (p *Plan) Run(ctx context.Context, be engine.Backend, cfg engine.Config, pr
 				Trivial:     res.Trivial,
 				Shared:      !m.Owner[k],
 				Task:        ti,
+				Approx:      res.Approx,
+				Epsilon:     res.Epsilon,
+				Delta:       res.Delta,
 			}
 			if m.Owner[k] {
 				sub.Runtime = res.Runtime

@@ -1,0 +1,8 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in; heavy
+// stochastic tests use it to scale their trial counts down, since race
+// instrumentation slows the counter hot loops by roughly 5x.
+const RaceEnabled = true

@@ -27,7 +27,9 @@ echo "==> go test -race -short (cache/engine concurrency fast path)"
 go test -race -short ./internal/counter ./internal/engine ./internal/plan ./internal/core
 
 echo "==> go test -race"
-go test -race ./...
+# 20m headroom over the 10m default: race instrumentation slows the
+# counter hot loops ~5x and internal/core alone runs several minutes.
+go test -race -timeout 20m ./...
 
 echo "==> sim kernel bench smoke (tape + parallel variants stay runnable)"
 go test -run '^$' -bench=. -benchtime=1x ./internal/sim/...
@@ -40,6 +42,27 @@ multi_out=$(go run ./cmd/vacsem-bench -table multi -versions 1 -report none)
 echo "$multi_out"
 if echo "$multi_out" | grep -q "MISMATCH"; then
 	echo "multi-metric session values diverged from standalone runs"
+	exit 1
+fi
+
+echo "==> approx backend smoke (tiny adder pair, ε=0.2, fixed seed, via the CLI)"
+apxdir=$(mktemp -d)
+trap 'rm -rf "$apxdir"' EXIT
+go run ./examples/approx_quickstart -write "$apxdir"
+apx_out=$(go run ./cmd/vacsem -metric er -backend approx -epsilon 0.2 -count-seed 1 \
+	-exact "$apxdir/adder8.blif" -approx "$apxdir/adder8_apx.blif")
+echo "$apx_out"
+if ! echo "$apx_out" | grep -q "guarantee"; then
+	echo "approx run reported no (ε, δ) guarantee line"
+	exit 1
+fi
+
+echo "==> approx bench smoke (epsilon/delta land in the JSON report)"
+go run ./cmd/vacsem-bench -table approx -versions 1 -timelimit 5s \
+	-epsilon 0.8 -delta 0.3 -count-seed 1 -report "$apxdir/approx.json"
+if ! grep -q '"approx": true' "$apxdir/approx.json" ||
+	! grep -q '"epsilon": 0.8' "$apxdir/approx.json"; then
+	echo "approx bench report is missing approx/epsilon fields"
 	exit 1
 fi
 

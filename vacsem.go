@@ -58,6 +58,11 @@ const (
 	// MethodBDD is the prior-art decision-diagram flow the paper
 	// compares against; it fails with ErrBDDTooLarge on large circuits.
 	MethodBDD = core.MethodBDD
+	// MethodApprox estimates each count by XOR streamlining instead of
+	// counting exactly: the value is within a (1+ε) factor of the exact
+	// value with probability 1-δ (Options.Epsilon/Delta/Seed tune it,
+	// Result.Approx/Epsilon/Delta/Confidence report it).
+	MethodApprox = core.MethodApprox
 )
 
 // Options configures verification; see core.Options. Notable fields:
@@ -65,7 +70,8 @@ const (
 // SimWorkers the goroutines MethodEnum's simulation kernel spreads the
 // pattern-block range across (both 0 = one per CPU; results are
 // bit-identical regardless). Progress streams per-sub-miter completion
-// events.
+// events. Epsilon, Delta and Seed tune MethodApprox's (ε, δ) guarantee
+// and make its XOR sampling reproducible.
 type Options = core.Options
 
 // Result reports a verified metric; see core.Result. Result.TotalStats
