@@ -27,12 +27,29 @@
 // directory, next to the table output; -report FILE overrides it and
 // -report none disables it.
 //
+// By default every verification run is flight-recorded: a background
+// sampler snapshots the solver counters every -flight-interval, and the
+// resulting per-run time-series land in the JSON report's records
+// (timeseries field). -introspect ADDR additionally serves the live
+// introspection endpoints (/metrics, /debug/vacsem/progress,
+// /debug/vacsem/runs, /debug/pprof) while the suite runs.
+//
+// -diff OLD.json NEW.json switches to the regression gate: the two
+// reports are compared run-by-run (matched by bench, metric, method and
+// version) with tolerance bands (-diff-tol for wall time,
+// -diff-min-seconds for the noise floor), a delta table is printed, and
+// the exit status is non-zero when any run regressed — exact counts
+// changing, completed runs now timing out or vanishing, wall time or
+// kernel throughput outside its band.
+//
 // Usage:
 //
 //	vacsem-bench -table all
 //	vacsem-bench -table 4 -versions 10 -timelimit 5m
 //	vacsem-bench -table 6 -full
 //	vacsem-bench -table 4 -trace run.jsonl -report table4.json
+//	vacsem-bench -table 4 -introspect localhost:6061
+//	vacsem-bench -diff BENCH_old.json BENCH_new.json
 package main
 
 import (
@@ -45,6 +62,7 @@ import (
 	"vacsem/internal/bench"
 	"vacsem/internal/core"
 	"vacsem/internal/obs"
+	"vacsem/internal/obs/expo"
 )
 
 func main() {
@@ -67,15 +85,26 @@ func run() int {
 	tracePath := flag.String("trace", "", "write span/event trace (JSON lines) to this file")
 	metricsFmt := flag.String("obs-metrics", "", "print end-of-run metrics to stderr: table or json")
 	pprofAddr := flag.String("pprof", "", "serve live net/http/pprof on this address (e.g. localhost:6060)")
+	introspect := flag.String("introspect", "", "serve the live introspection server on this address: /metrics, /debug/vacsem/progress, /debug/vacsem/runs, /debug/pprof (may equal -pprof to share one listener)")
+	flightIvl := flag.Duration("flight-interval", obs.DefaultFlightInterval, "flight-recorder sampling interval (runs' time-series land in the JSON report; negative = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	diffMode := flag.Bool("diff", false, "compare two bench reports (args: OLD.json NEW.json); exit non-zero on regression")
+	diffTol := flag.Float64("diff-tol", 0, "-diff: allowed wall-time ratio new/old (0 = default 1.25)")
+	diffMinSeconds := flag.Float64("diff-min-seconds", 0, "-diff: noise floor below which runs are not time-compared (0 = default 0.05)")
 	flag.Parse()
 
-	stop, err := obs.Setup(obs.CLIConfig{
-		TracePath:  *tracePath,
-		CPUProfile: *cpuProfile,
-		MemProfile: *memProfile,
-		PprofAddr:  *pprofAddr,
+	if *diffMode {
+		return runDiff(flag.Args(), *diffTol, *diffMinSeconds)
+	}
+
+	stop, err := expo.Setup(expo.CLIConfig{
+		TracePath:      *tracePath,
+		CPUProfile:     *cpuProfile,
+		MemProfile:     *memProfile,
+		PprofAddr:      *pprofAddr,
+		IntrospectAddr: *introspect,
+		FlightInterval: *flightIvl,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vacsem-bench:", err)
@@ -181,6 +210,33 @@ func run() int {
 		}
 	}
 	return exitCode
+}
+
+// runDiff is the -diff mode: load two reports, print the delta table,
+// and gate on regressions.
+func runDiff(args []string, tol, minSeconds float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "vacsem-bench -diff: want exactly two args: OLD.json NEW.json")
+		return 2
+	}
+	oldRep, err := bench.LoadReport(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vacsem-bench:", err)
+		return 2
+	}
+	newRep, err := bench.LoadReport(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vacsem-bench:", err)
+		return 2
+	}
+	d := bench.Diff(oldRep, newRep, bench.DiffOptions{TimeTol: tol, MinSeconds: minSeconds})
+	d.WriteTable(os.Stdout)
+	if d.HasRegressions() {
+		fmt.Fprintf(os.Stderr, "vacsem-bench -diff: %d regression(s) against %s\n",
+			len(d.Regressions), args[0])
+		return 1
+	}
+	return 0
 }
 
 func writeReport(rep *bench.Report, path string) error {

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func baselineReport() *Report {
+	return &Report{
+		SimBlocksPerSec: 1000,
+		Runs: []RunRecord{
+			{Bench: "RCA-8", Metric: "ER", Method: "vacsem", Version: 1,
+				Seconds: 0.5, Count: "100", Value: "100/256"},
+			{Bench: "RCA-8", Metric: "MED", Method: "vacsem", Version: 1,
+				Seconds: 1.0, Count: "300", Value: "300/256"},
+			{Bench: "RCA-8", Metric: "ER", Method: "bdd", Version: 1,
+				Seconds: 0.2, Infeasible: true},
+		},
+	}
+}
+
+// A run slower than old*tol must fail the gate; one inside the band
+// must not.
+func TestDiffTimeRegression(t *testing.T) {
+	old := baselineReport()
+	cur := baselineReport()
+	cur.Runs[1].Seconds = 2.0 // 2x slower than the 1.0s baseline
+
+	d := Diff(old, cur, DiffOptions{TimeTol: 1.5})
+	if !d.HasRegressions() {
+		t.Fatal("2x slowdown with 1.5x tolerance: want regression")
+	}
+	found := false
+	for _, e := range d.Regressions {
+		if e.Key == "RCA-8/MED/vacsem/v1" && e.Verdict == VerdictRegressed {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("regressions = %+v, want RCA-8/MED/vacsem/v1 REGRESSED", d.Regressions)
+	}
+
+	// Same slowdown with a generous band passes.
+	if d := Diff(old, cur, DiffOptions{TimeTol: 3}); d.HasRegressions() {
+		t.Errorf("2x slowdown with 3x tolerance: unexpected regressions %+v", d.Regressions)
+	}
+}
+
+// Sub-noise-floor runs jitter; they must never be time-compared.
+func TestDiffNoiseFloor(t *testing.T) {
+	old := baselineReport()
+	cur := baselineReport()
+	old.Runs[0].Seconds = 0.001
+	cur.Runs[0].Seconds = 0.010 // 10x "slower", but both below the floor
+
+	d := Diff(old, cur, DiffOptions{TimeTol: 1.25, MinSeconds: 0.05})
+	if d.HasRegressions() {
+		t.Errorf("sub-floor jitter flagged: %+v", d.Regressions)
+	}
+}
+
+// Exact counts are deterministic: any mismatch is a correctness
+// regression regardless of tolerance.
+func TestDiffValueMismatch(t *testing.T) {
+	old := baselineReport()
+	cur := baselineReport()
+	cur.Runs[0].Count = "101"
+
+	d := Diff(old, cur, DiffOptions{TimeTol: 100})
+	if !d.HasRegressions() {
+		t.Fatal("exact count changed: want regression even at huge tolerance")
+	}
+	if got := d.Regressions[0].Reason; !strings.Contains(got, "count changed") {
+		t.Errorf("reason = %q, want count-changed", got)
+	}
+}
+
+// ok -> timeout is a regression; the reverse is an improvement; a run
+// vanishing from the new report is a regression.
+func TestDiffStatusTransitions(t *testing.T) {
+	old := baselineReport()
+	cur := baselineReport()
+	cur.Runs[1].TimedOut = true
+	cur.Runs[1].Count, cur.Runs[1].Value = "", ""
+
+	d := Diff(old, cur, DiffOptions{})
+	if !d.HasRegressions() {
+		t.Fatal("ok -> timeout: want regression")
+	}
+
+	// Reverse direction: improvement, not regression.
+	d = Diff(cur, old, DiffOptions{})
+	if d.HasRegressions() {
+		t.Errorf("timeout -> ok flagged as regression: %+v", d.Regressions)
+	}
+	improved := false
+	for _, e := range d.Entries {
+		if e.Key == "RCA-8/MED/vacsem/v1" && e.Verdict == VerdictImproved {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Errorf("timeout -> ok not marked improved: %+v", d.Entries)
+	}
+
+	// Missing run.
+	cur2 := baselineReport()
+	cur2.Runs = cur2.Runs[:1]
+	if d := Diff(old, cur2, DiffOptions{}); !d.HasRegressions() {
+		t.Error("missing runs: want regression")
+	}
+}
+
+// The report-level kernel-throughput headline has its own band.
+func TestDiffThroughput(t *testing.T) {
+	old := baselineReport()
+	cur := baselineReport()
+	cur.SimBlocksPerSec = 100 // 10% of baseline
+
+	d := Diff(old, cur, DiffOptions{ThroughputTol: 0.5})
+	if d.ThroughputOK || !d.HasRegressions() {
+		t.Errorf("10x throughput drop with 50%% band: ThroughputOK=%v regressions=%+v",
+			d.ThroughputOK, d.Regressions)
+	}
+	if d := Diff(old, cur, DiffOptions{ThroughputTol: 0.05}); !d.ThroughputOK {
+		t.Error("10x drop inside a 5% band flagged")
+	}
+}
+
+// Identical reports produce a clean table and no regressions.
+func TestDiffClean(t *testing.T) {
+	old := baselineReport()
+	d := Diff(old, baselineReport(), DiffOptions{})
+	if d.HasRegressions() {
+		t.Fatalf("identical reports: %+v", d.Regressions)
+	}
+	var sb strings.Builder
+	d.WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"RCA-8/ER/vacsem/v1", "3 compared", "0 regressed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

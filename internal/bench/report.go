@@ -58,6 +58,9 @@ type RunRecord struct {
 	Epsilon    float64 `json:"epsilon,omitempty"`
 	Delta      float64 `json:"delta,omitempty"`
 	Confidence float64 `json:"confidence,omitempty"`
+	// Timeseries is the flight recorder's sampled series for the run
+	// (present when vacsem-bench records flight data, the default).
+	Timeseries *obs.Timeseries `json:"timeseries,omitempty"`
 }
 
 // newRunRecord flattens one verification outcome into a RunRecord. res
@@ -96,6 +99,7 @@ func newRunRecord(bench, metric string, m core.Method, version int, res *core.Re
 		rec.Delta = res.Delta
 		rec.Confidence = res.Confidence
 	}
+	rec.Timeseries = res.Timeseries
 	rec.Subs = make([]SubRecord, len(res.Subs))
 	for i, sub := range res.Subs {
 		rec.Subs[i] = SubRecord{
@@ -152,6 +156,9 @@ type SessionRecord struct {
 	TimedOut       bool          `json:"timed_out,omitempty"`
 	Err            string        `json:"error,omitempty"`
 	Stats          counter.Stats `json:"stats"`
+	// Timeseries is the flight recorder's sampled series for the session
+	// run (present when flight recording is on).
+	Timeseries *obs.Timeseries `json:"timeseries,omitempty"`
 }
 
 // newSessionRecord flattens one session outcome. sess may be nil.
@@ -182,6 +189,7 @@ func newSessionRecord(bench string, m core.Method, version int, sess *core.Sessi
 	rec.BaseNodesAfter = sess.BaseNodesAfter
 	rec.CacheCrossHits = sess.TotalStats.CacheCrossHits
 	rec.Stats = sess.TotalStats
+	rec.Timeseries = sess.Timeseries
 	rec.Metrics = make([]MetricRecord, len(sess.Results))
 	for i, res := range sess.Results {
 		rec.Metrics[i] = MetricRecord{

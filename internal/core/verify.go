@@ -270,6 +270,12 @@ type Result struct {
 	Approx         bool
 	Epsilon, Delta float64
 	Confidence     float64
+	// Timeseries is the flight recorder's sampled time-series of the run
+	// (decisions, propagations, cache traffic, sim throughput, ... as
+	// cumulative deltas since the run started). Nil unless a recorder was
+	// installed (expo.Setup or obs.SetRecorder); every Result of a
+	// session shares the session's series.
+	Timeseries *obs.Timeseries
 }
 
 // Float returns the metric value as a float64 (inexact for huge MEDs).
@@ -305,6 +311,9 @@ type SessionResult struct {
 	// TotalStats aggregates the counter statistics over all tasks of
 	// the session (equals the sum of the per-Result TotalStats).
 	TotalStats counter.Stats
+	// Timeseries is the flight recorder's sampled series for this
+	// session's run; nil unless a recorder was installed.
+	Timeseries *obs.Timeseries
 }
 
 // VerifyMetrics verifies several average-error metrics of one circuit
@@ -324,12 +333,15 @@ func VerifyMetrics(ctx context.Context, exact, approx *circuit.Circuit, specs []
 	for i, s := range specs {
 		names[i] = s.MetricName()
 	}
+	runID := obs.NextRunID()
+	ctx = obs.WithRun(ctx, runID)
 	tr := obs.Active()
 	var span obs.SpanID
 	if tr != nil {
 		span = tr.StartSpan(obs.SpanFrom(ctx), "session", obs.Fields{
 			"session": strings.Join(names, "+"), "backend": opt.Method.String(),
 			"metrics": len(specs), "inputs": exact.NumInputs(),
+			"run_id": runID,
 		})
 		ctx = obs.WithSpan(ctx, span)
 	}
@@ -428,12 +440,15 @@ func VerifyMiterContext(ctx context.Context, name string, m *circuit.Circuit, we
 		return nil, err
 	}
 	start := time.Now()
+	runID := obs.NextRunID()
+	ctx = obs.WithRun(ctx, runID)
 	tr := obs.Active()
 	var span obs.SpanID
 	if tr != nil {
 		span = tr.StartSpan(obs.SpanFrom(ctx), "session", obs.Fields{
 			"session": name, "backend": opt.Method.String(),
 			"metrics": 1, "inputs": m.NumInputs(),
+			"run_id": runID,
 		})
 		ctx = obs.WithSpan(ctx, span)
 	}
@@ -524,8 +539,28 @@ func runPlan(ctx context.Context, p *plan.Plan, be engine.Backend, opt Options, 
 	mSessions.Inc()
 	ctx, cancel := withTimeLimit(ctx, opt)
 	defer cancel()
+	// When a flight recorder is live, record this session as one run:
+	// the sampler snapshots registry deltas until Finish, which yields
+	// the run's time-series (attached to the results below, and to the
+	// trace — errors included, a timed-out run's partial curve is often
+	// the most interesting one).
+	var fr *obs.RunHandle
+	if rec := obs.ActiveRecorder(); rec != nil {
+		fr = rec.StartRun(obs.RunFrom(ctx), p.Session)
+	}
+	finishFlight := func() *obs.Timeseries {
+		if fr == nil {
+			return nil
+		}
+		ts := fr.Finish()
+		if tr != nil && ts != nil {
+			tr.Event(span, "timeseries", obs.Fields{"timeseries": ts})
+		}
+		return ts
+	}
 	out, err := p.Run(ctx, be, opt.engineConfig(), opt.Progress)
 	if err != nil {
+		finishFlight()
 		err = mapErr(ctx, err)
 		mRunErrors.Inc()
 		hRunSeconds.Observe(time.Since(start).Seconds())
@@ -534,6 +569,7 @@ func runPlan(ctx context.Context, p *plan.Plan, be engine.Backend, opt Options, 
 		}
 		return nil, err
 	}
+	ts := finishFlight()
 	sr := &SessionResult{
 		Results:         make([]*Result, len(out.Metrics)),
 		Method:          opt.Method,
@@ -544,6 +580,7 @@ func runPlan(ctx context.Context, p *plan.Plan, be engine.Backend, opt Options, 
 		TasksDeduped:    p.TasksDeduped(),
 		BaseNodesBefore: p.BaseNodesBefore,
 		BaseNodesAfter:  p.BaseNodesAfter,
+		Timeseries:      ts,
 	}
 	denom := new(big.Int).Lsh(big.NewInt(1), uint(p.TotalInputs))
 	for i := range out.Metrics {
@@ -559,6 +596,7 @@ func runPlan(ctx context.Context, p *plan.Plan, be engine.Backend, opt Options, 
 			TotalStats: mo.Stats,
 			Value:      new(big.Rat).SetFrac(new(big.Int).Set(mo.Count), denom),
 			Confidence: 1,
+			Timeseries: ts,
 		}
 		if ap, eps, delta := approxBand(mo.Subs); ap {
 			res.Approx, res.Epsilon, res.Delta = true, eps, delta

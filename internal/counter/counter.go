@@ -255,6 +255,12 @@ type Solver struct {
 	hotTick   uint64     // component-event sampling tick
 	cacheTick uint64     // cache-event sampling tick
 	lastEmit  Stats      // stats at the last periodic snapshot delta
+	// live stats flushing (see trace.go). live is captured once per
+	// CountCtx (true when a flight recorder is installed); flushed
+	// tracks the stats already merged into the registry, so periodic
+	// flushes and the final merge sum exactly to s.stats.
+	live    bool
+	flushed Stats
 }
 
 // propItem is one queued propagation with its antecedent.
@@ -370,6 +376,7 @@ func (s *Solver) CountCtx(ctx context.Context) (*big.Int, error) {
 	if s.tr != nil {
 		s.span = obs.SpanFrom(ctx)
 	}
+	s.live = obs.ActiveRecorder() != nil
 	defer s.finishObs()
 	if s.cfg.TimeLimit > 0 {
 		var cancel context.CancelFunc
@@ -465,6 +472,8 @@ func (s *Solver) reset() {
 	s.hotTick = 0
 	s.cacheTick = 0
 	s.lastEmit = Stats{}
+	s.live = false
+	s.flushed = Stats{}
 }
 
 // checkAbort polls the active context every 1024 calls. It is invoked at
@@ -482,6 +491,12 @@ func (s *Solver) checkAbort() bool {
 		if err := s.ctx.Err(); err != nil {
 			s.aborted = true
 			s.abortErr = err
+		}
+		if s.live {
+			// A flight recorder samples the registry on a wall-clock
+			// interval; without mid-run flushes a long count would show up
+			// as one step at the end instead of a moving rate curve.
+			s.flushObs()
 		}
 	}
 	return s.aborted

@@ -36,24 +36,45 @@ var (
 	hSimSeconds     = obs.Default.Histogram("counter.sim_component_seconds", nil)
 )
 
-// finishObs merges the run's statistics into the default metrics
-// registry and, when traced, emits the final stats snapshot delta.
+// addStatsToRegistry merges a stats delta into the registry counters.
+func addStatsToRegistry(d Stats) {
+	mDecisions.Add(d.Decisions)
+	mPropagations.Add(d.Propagations)
+	mComponents.Add(d.Components)
+	mCacheHits.Add(d.CacheHits)
+	mCacheStores.Add(d.CacheStores)
+	mCacheCross.Add(d.CacheCrossHits)
+	mCacheEvictions.Add(d.CacheEvictions)
+	mSimCalls.Add(d.SimCalls)
+	mSimRejected.Add(d.SimRejected)
+	mSimPatterns.Add(d.SimPatterns)
+	mFailedLiterals.Add(d.FailedLiterals)
+	mLearnedClauses.Add(d.Learned)
+	mXorProps.Add(d.XorPropagations)
+	mGaussReduce.Add(d.GaussReductions)
+}
+
+// flushObs merges the stats accrued since the previous flush into the
+// registry. Flushed deltas always sum to the final Stats, so the
+// registry totals are identical whether the run flushed once at the end
+// (the default) or periodically (when a flight recorder is live — the
+// mid-run flushes are what make a long single count show up as a moving
+// decisions/sec curve instead of one step at the end).
+func (s *Solver) flushObs() {
+	d := s.stats.Diff(s.flushed)
+	if d == (Stats{}) {
+		return
+	}
+	s.flushed = s.stats
+	addStatsToRegistry(d)
+}
+
+// finishObs merges the run's remaining statistics into the default
+// metrics registry and, when traced, emits the final stats snapshot
+// delta.
 func (s *Solver) finishObs() {
 	mCounts.Inc()
-	mDecisions.Add(s.stats.Decisions)
-	mPropagations.Add(s.stats.Propagations)
-	mComponents.Add(s.stats.Components)
-	mCacheHits.Add(s.stats.CacheHits)
-	mCacheStores.Add(s.stats.CacheStores)
-	mCacheCross.Add(s.stats.CacheCrossHits)
-	mCacheEvictions.Add(s.stats.CacheEvictions)
-	mSimCalls.Add(s.stats.SimCalls)
-	mSimRejected.Add(s.stats.SimRejected)
-	mSimPatterns.Add(s.stats.SimPatterns)
-	mFailedLiterals.Add(s.stats.FailedLiterals)
-	mLearnedClauses.Add(s.stats.Learned)
-	mXorProps.Add(s.stats.XorPropagations)
-	mGaussReduce.Add(s.stats.GaussReductions)
+	s.flushObs()
 	if s.tr != nil {
 		if delta := s.stats.Diff(s.lastEmit); delta != (Stats{}) {
 			s.lastEmit = s.stats

@@ -148,6 +148,13 @@ func (b *countingBackend) solveTask(ctx context.Context, req *Request, j int, ca
 	t := &req.Tasks[j]
 	start := time.Now()
 	res = TaskResult{Count: new(big.Int)}
+	runID := obs.RunFrom(ctx)
+	if obs.Stream.Active() {
+		obs.Stream.Publish("task_start", obs.Fields{
+			"run_id": runID, "backend": b.name,
+			"index": j, "label": t.Label, "nodes_before": t.NodesBefore,
+		})
+	}
 	tr := obs.Active()
 	var span obs.SpanID
 	if tr != nil {
@@ -164,6 +171,18 @@ func (b *countingBackend) solveTask(ctx context.Context, req *Request, j int, ca
 			mSubTrivial.Inc()
 		}
 		hSubSeconds.Observe(res.Runtime.Seconds())
+		if obs.Stream.Active() {
+			f := obs.Fields{
+				"run_id": runID, "backend": b.name,
+				"index": j, "label": t.Label,
+				"count": res.Count.String(), "seconds": res.Runtime.Seconds(),
+				"trivial": res.Trivial,
+			}
+			if err != nil {
+				f["error"] = err.Error()
+			}
+			obs.Stream.Publish("task_done", f)
+		}
 		if tr != nil {
 			f := obs.Fields{
 				"index": j, "output": t.Label,

@@ -1,0 +1,250 @@
+package expo
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vacsem/internal/obs"
+)
+
+// testOptions wires a handler to a private registry, hub and recorder
+// so tests never race the process-wide defaults.
+func testOptions(t *testing.T) (Options, *obs.Registry, *obs.Hub, *obs.Recorder) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	hub := obs.NewHub()
+	rec := obs.NewRecorder(reg, time.Millisecond, []string{"counter.decisions"})
+	opt := Options{
+		Registry: reg,
+		Hub:      hub,
+		Recorder: func() *obs.Recorder { return rec },
+	}
+	return opt, reg, hub, rec
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	opt, reg, _, _ := testOptions(t)
+	reg.Counter("counter.decisions").Add(77)
+	srv := httptest.NewServer(NewHandler(opt))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "vacsem_counter_decisions 77") {
+		t.Errorf("exposition missing prefixed counter:\n%s", body)
+	}
+	if !strings.Contains(string(body), "# TYPE vacsem_counter_decisions counter") {
+		t.Errorf("exposition missing TYPE line:\n%s", body)
+	}
+}
+
+func TestMetricsPrefixOverride(t *testing.T) {
+	opt, reg, _, _ := testOptions(t)
+	reg.Counter("x").Inc()
+	opt.Prefix = "-" // explicit no-prefix
+	srv := httptest.NewServer(NewHandler(opt))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "\nx 1\n") && !strings.HasPrefix(string(body), "x 1\n") {
+		t.Errorf("unprefixed sample missing:\n%s", body)
+	}
+}
+
+func TestRunsEndpoint(t *testing.T) {
+	opt, reg, _, rec := testOptions(t)
+	h := rec.StartRun(0, "ER")
+	reg.Counter("counter.decisions").Add(10)
+	h.Finish()
+	active := rec.StartRun(0, "MED")
+	defer active.Finish()
+
+	srv := httptest.NewServer(NewHandler(opt))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/vacsem/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var snap obs.FlightSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(snap.Recent) != 1 || snap.Recent[0].Label != "ER" {
+		t.Errorf("recent = %+v, want one ER run", snap.Recent)
+	}
+	if len(snap.Active) != 1 || snap.Active[0].Label != "MED" {
+		t.Errorf("active = %+v, want one MED run", snap.Active)
+	}
+	if got := snap.Recent[0].Series[0]; got[len(got)-1] != 10 {
+		t.Errorf("recent run final decisions = %v, want 10", got)
+	}
+}
+
+func TestRunsEndpointNoRecorder(t *testing.T) {
+	opt, _, _, _ := testOptions(t)
+	opt.Recorder = func() *obs.Recorder { return nil }
+	srv := httptest.NewServer(NewHandler(opt))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/vacsem/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var snap struct {
+		Active []any `json:"active"`
+		Recent []any `json:"recent"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("decode: %v (%s)", err, body)
+	}
+	if snap.Active == nil || snap.Recent == nil {
+		t.Errorf("want empty arrays, not null: %s", body)
+	}
+}
+
+// The progress endpoint streams hub events as NDJSON, opening with a
+// stream_open line that lists the active runs.
+func TestProgressStreamNDJSON(t *testing.T) {
+	opt, _, hub, rec := testOptions(t)
+	run := rec.StartRun(9, "ER+MED")
+	defer run.Finish()
+	srv := httptest.NewServer(NewHandler(opt))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vacsem/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no stream_open line")
+	}
+	var open map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &open); err != nil {
+		t.Fatalf("stream_open not JSON: %v (%q)", err, sc.Text())
+	}
+	if open["ev"] != "stream_open" {
+		t.Fatalf("first event = %v", open["ev"])
+	}
+	runs, ok := open["active_runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Errorf("active_runs = %v, want the one live run", open["active_runs"])
+	}
+
+	// Wait for the subscription to land before publishing, then the
+	// event must arrive on the stream.
+	deadline := time.Now().Add(2 * time.Second)
+	for !hub.Active() {
+		if time.Now().After(deadline) {
+			t.Fatal("handler never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hub.Publish("task_done", obs.Fields{"index": 4})
+	if !sc.Scan() {
+		t.Fatal("no event line after publish")
+	}
+	var ev map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+		t.Fatalf("event not JSON: %v", err)
+	}
+	if ev["ev"] != "task_done" || ev["index"].(float64) != 4 {
+		t.Errorf("event = %v", ev)
+	}
+}
+
+// With Accept: text/event-stream the same endpoint speaks SSE.
+func TestProgressStreamSSE(t *testing.T) {
+	opt, _, _, _ := testOptions(t)
+	srv := httptest.NewServer(NewHandler(opt))
+	defer srv.Close()
+
+	req, _ := http.NewRequest("GET", srv.URL+"/debug/vacsem/progress", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no first SSE line")
+	}
+	line := sc.Text()
+	if !strings.HasPrefix(line, "data: ") {
+		t.Fatalf("SSE line %q lacks data: prefix", line)
+	}
+	var open map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &open); err != nil {
+		t.Fatalf("SSE payload not JSON: %v", err)
+	}
+	if open["ev"] != "stream_open" {
+		t.Errorf("first event = %v", open["ev"])
+	}
+}
+
+func TestIndexAndPprofRoutes(t *testing.T) {
+	opt, _, _, _ := testOptions(t)
+	srv := httptest.NewServer(NewHandler(opt))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "/debug/vacsem/progress") {
+		t.Errorf("index missing route listing:\n%s", body)
+	}
+
+	// pprof delegates to DefaultServeMux (net/http/pprof registers there).
+	resp, err = http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof via introspection mux: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown route: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,14 +1,14 @@
-package obs
+package expo
 
 import (
 	"fmt"
-	"io"
-	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
+
+	"vacsem/internal/obs"
 )
 
 // CLIConfig is the observability surface both commands expose as flags.
@@ -19,12 +19,23 @@ type CLIConfig struct {
 	CPUProfile string // -cpuprofile: pprof CPU profile path
 	MemProfile string // -memprofile: heap profile path, written at stop
 	PprofAddr  string // -pprof: live net/http/pprof listen address
+	// IntrospectAddr is the -introspect listen address: /metrics,
+	// /debug/vacsem/* and /debug/pprof. When it equals PprofAddr the two
+	// flags share one listener.
+	IntrospectAddr string
+	// FlightInterval controls the flight recorder: a positive duration
+	// samples at that interval, a negative one disables recording, and 0
+	// means auto — record at obs.DefaultFlightInterval whenever the
+	// introspection server or the trace is on.
+	FlightInterval time.Duration
 }
 
-// Setup installs the requested tracer and profilers and returns a stop
-// function that flushes and closes everything. Callers must run stop on
-// every exit path (so main must not os.Exit past it); stop is safe to
-// call exactly once.
+// Setup installs the requested tracer, flight recorder, profilers and
+// introspection server, and returns a stop function that flushes and
+// closes everything — including the HTTP listeners, whose serve loops
+// are waited out so tests and long-lived embedders do not leak ports or
+// goroutines. Callers must run stop on every exit path (so main must
+// not os.Exit past it); stop is safe to call exactly once.
 func Setup(cfg CLIConfig) (stop func() error, err error) {
 	var closers []func() error
 	fail := func(err error) (func() error, error) {
@@ -39,15 +50,30 @@ func Setup(cfg CLIConfig) (stop func() error, err error) {
 		if err != nil {
 			return fail(fmt.Errorf("trace: %w", err))
 		}
-		tr := NewTracer(f)
-		SetTracer(tr)
+		tr := obs.NewTracer(f)
+		obs.SetTracer(tr)
 		closers = append(closers, func() error {
-			SetTracer(nil)
+			obs.SetTracer(nil)
 			err := tr.Close()
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
 			return err
+		})
+	}
+
+	interval := cfg.FlightInterval
+	if interval == 0 && (cfg.IntrospectAddr != "" || cfg.TracePath != "") {
+		interval = obs.DefaultFlightInterval
+	}
+	if interval > 0 {
+		rec := obs.NewRecorder(obs.Default, interval, nil)
+		rec.Start()
+		obs.SetRecorder(rec)
+		closers = append(closers, func() error {
+			obs.SetRecorder(nil)
+			rec.Close()
+			return nil
 		})
 	}
 
@@ -79,18 +105,22 @@ func Setup(cfg CLIConfig) (stop func() error, err error) {
 		})
 	}
 
-	if cfg.PprofAddr != "" {
-		// Listen synchronously so a bad address fails the run up front
-		// instead of logging from a goroutine.
-		ln, err := net.Listen("tcp", cfg.PprofAddr)
+	if cfg.IntrospectAddr != "" {
+		srv, err := Start(cfg.IntrospectAddr, Options{})
+		if err != nil {
+			return fail(fmt.Errorf("introspect: %w", err))
+		}
+		closers = append(closers, srv.Close)
+	}
+
+	// The introspection mux already delegates /debug/pprof, so when the
+	// two flags name the same address they share that listener.
+	if cfg.PprofAddr != "" && cfg.PprofAddr != cfg.IntrospectAddr {
+		srv, err := serve(cfg.PprofAddr, http.DefaultServeMux)
 		if err != nil {
 			return fail(fmt.Errorf("pprof: %w", err))
 		}
-		srv := &http.Server{Handler: http.DefaultServeMux}
-		go srv.Serve(ln)
-		closers = append(closers, func() error {
-			return srv.Close()
-		})
+		closers = append(closers, srv.Close)
 	}
 
 	return func() error {
@@ -102,19 +132,4 @@ func Setup(cfg CLIConfig) (stop func() error, err error) {
 		}
 		return first
 	}, nil
-}
-
-// WriteMetrics dumps the default registry in the format of the -metrics
-// flag: "table" or "json".
-func WriteMetrics(w io.Writer, format string) error {
-	snap := Default.Snapshot()
-	switch format {
-	case "table":
-		snap.WriteTable(w)
-		return nil
-	case "json":
-		return snap.WriteJSON(w)
-	default:
-		return fmt.Errorf("unknown -obs-metrics format %q (want table or json)", format)
-	}
 }

@@ -1,0 +1,133 @@
+package expo
+
+import (
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"vacsem/internal/obs"
+)
+
+// freePort reserves then releases a loopback port, returning its
+// address for a server to bind immediately after.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// Close must wait out the serve loop so the port is immediately
+// reusable — the teardown leak this PR fixes.
+func TestServerCloseReleasesPort(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if _, err := http.Get("http://" + addr + "/"); err != nil {
+		t.Fatalf("server not serving: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// We owned this port a microsecond ago; a clean shutdown means we
+	// can bind it again right now.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after Close: %v", err)
+	}
+	ln.Close()
+}
+
+// Setup's stop func tears the whole stack down: introspection listener
+// closed (port released), flight recorder stopped and uninstalled.
+func TestSetupTeardown(t *testing.T) {
+	addr := freePort(t)
+	stop, err := Setup(CLIConfig{IntrospectAddr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.ActiveRecorder() == nil {
+		t.Error("-introspect should auto-install the flight recorder")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("introspection server not serving: %v", err)
+	}
+	resp.Body.Close()
+
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if obs.ActiveRecorder() != nil {
+		t.Error("recorder still installed after stop")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("introspection port not released after stop: %v", err)
+	}
+	ln.Close()
+}
+
+// -pprof sharing -introspect's address must produce one listener, not
+// an address-in-use failure.
+func TestSetupSharedListener(t *testing.T) {
+	addr := freePort(t)
+	stop, err := Setup(CLIConfig{IntrospectAddr: addr, PprofAddr: addr, FlightInterval: -1})
+	if err != nil {
+		t.Fatalf("shared -pprof/-introspect address: %v", err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on shared listener: status %d", resp.StatusCode)
+	}
+	if obs.ActiveRecorder() != nil {
+		t.Error("negative FlightInterval must disable the recorder")
+	}
+}
+
+// A zero config is a no-op with a working stop.
+func TestSetupZero(t *testing.T) {
+	stop, err := Setup(CLIConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.ActiveRecorder() != nil {
+		t.Error("zero config installed a recorder")
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop: %v", err)
+	}
+}
+
+// FlightInterval > 0 records without any server.
+func TestSetupFlightOnly(t *testing.T) {
+	stop, err := Setup(CLIConfig{FlightInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.ActiveRecorder()
+	if rec == nil {
+		t.Fatal("recorder not installed")
+	}
+	if rec.Interval() != time.Millisecond {
+		t.Errorf("interval = %v", rec.Interval())
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop: %v", err)
+	}
+	if obs.ActiveRecorder() != nil {
+		t.Error("recorder still installed after stop")
+	}
+}

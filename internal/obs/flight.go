@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// The flight recorder: a background sampler that snapshots a fixed set
+// of registry counters at a regular interval into a bounded per-run
+// time-series, turning "what was the solver doing between the start
+// line and the result" into a readable curve (decisions/sec,
+// propagations/sec, cache churn, sim kernel throughput, approx probe
+// counts). Recording only reads atomic counters — it never changes
+// verified counts.
+
+// DefaultFlightInterval is the default sampling interval. At ~60
+// tracked counters per tick this costs a few microseconds every 250ms —
+// far below the noise floor of any benchmarked run.
+const DefaultFlightInterval = 250 * time.Millisecond
+
+// DefaultMaxSamples bounds the points kept per run. When a run outgrows
+// the bound, the recorder halves the series (keeping every second
+// point) and doubles that run's effective stride, so long runs keep
+// whole-run coverage at bounded memory instead of losing their start.
+const DefaultMaxSamples = 512
+
+// DefaultMaxRecent bounds the finished runs the recorder retains for
+// the /debug/vacsem/runs endpoint.
+const DefaultMaxRecent = 16
+
+// DefaultSeries is the counter set sampled per run: the solver, cache,
+// simulation-kernel and approx-backend rates the ROADMAP's performance
+// questions are phrased in.
+var DefaultSeries = []string{
+	"counter.decisions",
+	"counter.propagations",
+	"counter.components",
+	"counter.cache_hits",
+	"counter.cache_stores",
+	"counter.cache_evictions",
+	"counter.cache_cross_hits",
+	"counter.sim_calls",
+	"counter.sim_patterns",
+	"counter.xor_propagations",
+	"counter.gauss_reductions",
+	"counter.approx_rounds",
+	"counter.approx_probes",
+	"sim.kernel_blocks",
+	"sim.kernel_patterns",
+	"engine.sub_miters",
+}
+
+// Timeseries is one run's recorded flight data. Values are cumulative
+// deltas since the run started (consumers derive rates by differencing
+// against TMs); Series is indexed [name][point], column-major, so the
+// JSON stays compact for runs with many points.
+type Timeseries struct {
+	RunID uint64 `json:"run_id"`
+	Label string `json:"label"`
+	// IntervalMs is the recorder's base sampling interval; StrideMs the
+	// run's effective stride after decimation (equal until the run
+	// outgrows the sample bound).
+	IntervalMs float64 `json:"interval_ms"`
+	StrideMs   float64 `json:"stride_ms"`
+	// DurMs is the run duration; zero while the run is still active.
+	DurMs float64 `json:"dur_ms,omitempty"`
+	// Names lists the sampled counters; TMs the sample times
+	// (milliseconds since run start); Series[i][k] the cumulative delta
+	// of Names[i] at TMs[k]. The final point is always taken at Finish,
+	// so even sub-interval runs record their totals.
+	Names  []string   `json:"names"`
+	TMs    []float64  `json:"t_ms"`
+	Series [][]uint64 `json:"series"`
+}
+
+func (ts *Timeseries) clone() *Timeseries {
+	c := *ts
+	c.TMs = append([]float64(nil), ts.TMs...)
+	c.Series = make([][]uint64, len(ts.Series))
+	for i, s := range ts.Series {
+		c.Series[i] = append([]uint64(nil), s...)
+	}
+	return &c
+}
+
+// appendPoint records one sample; values are cumulative since run start.
+func (ts *Timeseries) appendPoint(tMs float64, vals []uint64) {
+	ts.TMs = append(ts.TMs, tMs)
+	for i := range ts.Series {
+		ts.Series[i] = append(ts.Series[i], vals[i])
+	}
+}
+
+// decimate halves the series in place, keeping every second point
+// (always retaining the most recent one), and doubles the stride.
+func (ts *Timeseries) decimate() {
+	n := len(ts.TMs)
+	w := 0
+	for r := n % 2; r < n; r += 2 {
+		ts.TMs[w] = ts.TMs[r]
+		for i := range ts.Series {
+			ts.Series[i][w] = ts.Series[i][r]
+		}
+		w++
+	}
+	ts.TMs = ts.TMs[:w]
+	for i := range ts.Series {
+		ts.Series[i] = ts.Series[i][:w]
+	}
+	ts.StrideMs *= 2
+}
+
+// RunHandle is one active run inside a Recorder. The owning layer
+// (internal/core) calls Finish exactly once when the run ends.
+type RunHandle struct {
+	rec   *Recorder
+	ts    *Timeseries
+	start time.Time
+	base  []uint64 // counter values at run start
+	tick  int      // sampler ticks seen by this run
+	keep  int      // record every keep-th tick (doubles on decimation)
+	done  bool
+}
+
+// Recorder samples a registry's counters on a fixed interval and
+// attributes the deltas to the runs active at the time. Deltas are
+// measured against each run's start values on the shared registry, so
+// with concurrent runs each run's series includes the other runs' work
+// — per-process attribution, like the registry itself. The CLIs run one
+// verification at a time, where the attribution is exact.
+type Recorder struct {
+	reg      *Registry
+	interval time.Duration
+	maxSamp  int
+	maxRec   int
+	names    []string
+	handles  []*Counter
+
+	mu     sync.Mutex
+	active map[uint64]*RunHandle
+	recent []*Timeseries
+
+	startOnce sync.Once
+	stop      chan struct{}
+	stopped   chan struct{}
+}
+
+// NewRecorder creates a recorder over reg (nil = Default) sampling the
+// given counters (nil = DefaultSeries) every interval (0 =
+// DefaultFlightInterval). Call Start to launch the sampler and Close to
+// stop it.
+func NewRecorder(reg *Registry, interval time.Duration, names []string) *Recorder {
+	if reg == nil {
+		reg = Default
+	}
+	if interval <= 0 {
+		interval = DefaultFlightInterval
+	}
+	if names == nil {
+		names = DefaultSeries
+	}
+	r := &Recorder{
+		reg:      reg,
+		interval: interval,
+		maxSamp:  DefaultMaxSamples,
+		maxRec:   DefaultMaxRecent,
+		names:    append([]string(nil), names...),
+		active:   make(map[uint64]*RunHandle),
+		stop:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	r.handles = make([]*Counter, len(r.names))
+	for i, n := range r.names {
+		r.handles[i] = reg.Counter(n)
+	}
+	return r
+}
+
+// Interval returns the base sampling interval.
+func (r *Recorder) Interval() time.Duration { return r.interval }
+
+// read snapshots the tracked counters.
+func (r *Recorder) read() []uint64 {
+	vals := make([]uint64, len(r.handles))
+	for i, c := range r.handles {
+		vals[i] = c.Value()
+	}
+	return vals
+}
+
+// Start launches the background sampler; idempotent.
+func (r *Recorder) Start() {
+	r.startOnce.Do(func() { go r.loop() })
+}
+
+// Close stops the sampler and waits for it to exit. Active runs keep
+// their recorded points and can still Finish (they just stop gaining
+// periodic samples). Close is safe to call once, after Start.
+func (r *Recorder) Close() {
+	close(r.stop)
+	<-r.stopped
+}
+
+func (r *Recorder) loop() {
+	defer close(r.stopped)
+	tick := time.NewTicker(r.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			r.sample()
+		}
+	}
+}
+
+// sample takes one reading and appends it to every active run,
+// decimating runs that hit the sample bound. With stream subscribers
+// attached it also publishes one live "sample" event per active run
+// with the cumulative state and a derived cache hit rate.
+func (r *Recorder) sample() {
+	vals := r.read()
+	now := time.Now()
+	streaming := Stream.Active()
+	r.mu.Lock()
+	for _, h := range r.active {
+		h.tick++
+		if h.tick%h.keep != 0 {
+			continue
+		}
+		cum := make([]uint64, len(vals))
+		for i := range vals {
+			cum[i] = vals[i] - h.base[i]
+		}
+		h.ts.appendPoint(float64(now.Sub(h.start).Microseconds())/1e3, cum)
+		if len(h.ts.TMs) > r.maxSamp {
+			h.ts.decimate()
+			h.keep *= 2
+		}
+		if streaming {
+			r.publishSample(h, cum)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// publishSample emits one live "sample" stream event for an active run:
+// every tracked series (cumulative since run start) plus the derived
+// cache hit rate — the live-state feed behind /debug/vacsem/progress.
+func (r *Recorder) publishSample(h *RunHandle, cum []uint64) {
+	series := make(map[string]uint64, len(r.names))
+	var hits, stores uint64
+	for i, n := range r.names {
+		series[n] = cum[i]
+		switch n {
+		case "counter.cache_hits":
+			hits = cum[i]
+		case "counter.cache_stores":
+			stores = cum[i]
+		}
+	}
+	f := Fields{
+		"run_id":   h.ts.RunID,
+		"label":    h.ts.Label,
+		"run_t_ms": float64(time.Since(h.start).Microseconds()) / 1e3,
+		"series":   series,
+		"points":   len(h.ts.TMs),
+	}
+	if hits+stores > 0 {
+		f["cache_hit_rate"] = float64(hits) / float64(hits+stores)
+	}
+	Stream.Publish("sample", f)
+}
+
+// StartRun registers a run under the given id (0 lets the recorder
+// assign one from NextRunID) and begins attributing sampled deltas to
+// it. The caller must call Finish on the returned handle.
+func (r *Recorder) StartRun(id uint64, label string) *RunHandle {
+	if id == 0 {
+		id = NextRunID()
+	}
+	intervalMs := float64(r.interval.Microseconds()) / 1e3
+	h := &RunHandle{
+		rec:   r,
+		start: time.Now(),
+		base:  r.read(),
+		keep:  1,
+		ts: &Timeseries{
+			RunID:      id,
+			Label:      label,
+			IntervalMs: intervalMs,
+			StrideMs:   intervalMs,
+			Names:      append([]string(nil), r.names...),
+			Series:     make([][]uint64, len(r.names)),
+		},
+	}
+	r.mu.Lock()
+	r.active[id] = h
+	r.mu.Unlock()
+	Stream.Publish("run_start", Fields{"run_id": id, "label": label})
+	return h
+}
+
+// Finish takes one final unconditional sample (so even sub-interval
+// runs record their totals), closes the run, moves it to the recorder's
+// recent ring, and returns the completed time-series. The returned
+// value is immutable from here on. Finish is idempotent; later calls
+// return the same series.
+func (h *RunHandle) Finish() *Timeseries {
+	r := h.rec
+	r.mu.Lock()
+	if h.done {
+		r.mu.Unlock()
+		return h.ts
+	}
+	h.done = true
+	vals := r.read()
+	cum := make([]uint64, len(vals))
+	for i := range vals {
+		cum[i] = vals[i] - h.base[i]
+	}
+	dur := time.Since(h.start)
+	h.ts.appendPoint(float64(dur.Microseconds())/1e3, cum)
+	h.ts.DurMs = float64(dur.Microseconds()) / 1e3
+	delete(r.active, h.ts.RunID)
+	r.recent = append(r.recent, h.ts)
+	if len(r.recent) > r.maxRec {
+		copy(r.recent, r.recent[len(r.recent)-r.maxRec:])
+		r.recent = r.recent[:r.maxRec]
+	}
+	r.mu.Unlock()
+	Stream.Publish("run_end", Fields{
+		"run_id": h.ts.RunID, "label": h.ts.Label,
+		"dur_ms": h.ts.DurMs, "points": len(h.ts.TMs),
+	})
+	return h.ts
+}
+
+// FlightSnapshot is the recorder state served by /debug/vacsem/runs.
+type FlightSnapshot struct {
+	IntervalMs float64       `json:"interval_ms"`
+	Active     []*Timeseries `json:"active"`
+	Recent     []*Timeseries `json:"recent"`
+}
+
+// Snapshot copies the recorder's active and recent runs. Active series
+// are deep-copied (the sampler keeps mutating them); recent ones are
+// immutable and shared.
+func (r *Recorder) Snapshot() FlightSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Both slices stay non-nil so the snapshot serves JSON arrays, not
+	// null, even before any run has started or finished.
+	s := FlightSnapshot{
+		IntervalMs: float64(r.interval.Microseconds()) / 1e3,
+		Active:     make([]*Timeseries, 0, len(r.active)),
+		Recent:     append(make([]*Timeseries, 0, len(r.recent)), r.recent...),
+	}
+	for _, h := range r.active {
+		s.Active = append(s.Active, h.ts.clone())
+	}
+	return s
+}

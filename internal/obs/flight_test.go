@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestRecorder returns a recorder over a fresh registry with a tiny
+// tracked series, NOT started — tests drive sample() directly so they
+// are deterministic and fast.
+func newTestRecorder(t *testing.T) (*Recorder, *Registry) {
+	t.Helper()
+	reg := NewRegistry()
+	rec := NewRecorder(reg, time.Millisecond, []string{"a", "b"})
+	return rec, reg
+}
+
+// A run's series reports cumulative deltas since its own start, not the
+// registry's absolute values.
+func TestFlightDeltasSinceRunStart(t *testing.T) {
+	rec, reg := newTestRecorder(t)
+	reg.Counter("a").Add(100) // pre-run work must not leak into the run
+
+	h := rec.StartRun(0, "test")
+	reg.Counter("a").Add(5)
+	reg.Counter("b").Add(7)
+	rec.sample()
+	reg.Counter("a").Add(5)
+	ts := h.Finish()
+
+	if ts.RunID == 0 {
+		t.Error("RunID not assigned")
+	}
+	if ts.Label != "test" {
+		t.Errorf("Label = %q", ts.Label)
+	}
+	if len(ts.TMs) != 2 {
+		t.Fatalf("points = %d, want 2 (one sample + final)", len(ts.TMs))
+	}
+	// Series[0] = "a", Series[1] = "b".
+	if got := ts.Series[0]; got[0] != 5 || got[1] != 10 {
+		t.Errorf("series a = %v, want [5 10]", got)
+	}
+	if got := ts.Series[1]; got[0] != 7 || got[1] != 7 {
+		t.Errorf("series b = %v, want [7 7]", got)
+	}
+	for i := 1; i < len(ts.TMs); i++ {
+		if ts.TMs[i] < ts.TMs[i-1] {
+			t.Errorf("TMs not monotone: %v", ts.TMs)
+		}
+	}
+	if ts.DurMs <= 0 {
+		t.Errorf("DurMs = %g, want > 0", ts.DurMs)
+	}
+}
+
+// A run that ends before the first sampler tick still records one final
+// point with its totals.
+func TestFlightFinalSampleAlways(t *testing.T) {
+	rec, reg := newTestRecorder(t)
+	h := rec.StartRun(42, "fast")
+	reg.Counter("a").Add(3)
+	ts := h.Finish()
+	if len(ts.TMs) != 1 {
+		t.Fatalf("points = %d, want exactly the final sample", len(ts.TMs))
+	}
+	if ts.Series[0][0] != 3 {
+		t.Errorf("final sample a = %d, want 3", ts.Series[0][0])
+	}
+	if ts.RunID != 42 {
+		t.Errorf("RunID = %d, want the caller's 42", ts.RunID)
+	}
+	// Finish is idempotent and returns the same series.
+	if again := h.Finish(); again != ts || len(again.TMs) != 1 {
+		t.Error("second Finish changed the series")
+	}
+}
+
+// Long runs stay within the sample bound by decimation, keeping
+// whole-run coverage (first samples survive at coarser stride).
+func TestFlightDecimationBound(t *testing.T) {
+	rec, reg := newTestRecorder(t)
+	h := rec.StartRun(0, "long")
+	n := DefaultMaxSamples*4 + 13
+	for i := 0; i < n; i++ {
+		reg.Counter("a").Inc()
+		rec.sample()
+	}
+	ts := h.Finish()
+	if len(ts.TMs) > DefaultMaxSamples+1 {
+		t.Errorf("points = %d, want <= %d", len(ts.TMs), DefaultMaxSamples+1)
+	}
+	if len(ts.TMs) < DefaultMaxSamples/4 {
+		t.Errorf("points = %d — decimation discarded too much", len(ts.TMs))
+	}
+	if ts.StrideMs <= ts.IntervalMs {
+		t.Errorf("StrideMs %g not raised above IntervalMs %g after decimation",
+			ts.StrideMs, ts.IntervalMs)
+	}
+	// Cumulative values stay monotone through decimation, and the final
+	// sample carries the exact total.
+	s := ts.Series[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatalf("series not monotone at %d: %d < %d", i, s[i], s[i-1])
+		}
+	}
+	if s[len(s)-1] != uint64(n) {
+		t.Errorf("final cumulative = %d, want %d", s[len(s)-1], n)
+	}
+	for i := 1; i < len(ts.TMs); i++ {
+		if ts.TMs[i] < ts.TMs[i-1] {
+			t.Fatalf("TMs not monotone after decimation")
+		}
+	}
+}
+
+// Finished runs move to the bounded recent ring, oldest evicted first.
+func TestFlightRecentRing(t *testing.T) {
+	rec, _ := newTestRecorder(t)
+	for i := 0; i < DefaultMaxRecent+5; i++ {
+		h := rec.StartRun(uint64(1000+i), fmt.Sprintf("run%d", i))
+		h.Finish()
+	}
+	snap := rec.Snapshot()
+	if len(snap.Active) != 0 {
+		t.Errorf("active = %d, want 0", len(snap.Active))
+	}
+	if len(snap.Recent) != DefaultMaxRecent {
+		t.Fatalf("recent = %d, want %d", len(snap.Recent), DefaultMaxRecent)
+	}
+	// Oldest entries evicted: the ring starts at run 5.
+	if got := snap.Recent[0].RunID; got != 1005 {
+		t.Errorf("recent[0].RunID = %d, want 1005", got)
+	}
+	if got := snap.Recent[len(snap.Recent)-1].RunID; got != uint64(1000+DefaultMaxRecent+4) {
+		t.Errorf("recent[last].RunID = %d", got)
+	}
+}
+
+// Snapshot deep-copies active runs so the sampler can keep appending
+// while a scraper serializes the snapshot.
+func TestFlightSnapshotIsolation(t *testing.T) {
+	rec, reg := newTestRecorder(t)
+	h := rec.StartRun(0, "live")
+	reg.Counter("a").Inc()
+	rec.sample()
+	snap := rec.Snapshot()
+	if len(snap.Active) != 1 || len(snap.Active[0].TMs) != 1 {
+		t.Fatalf("snapshot active = %+v", snap.Active)
+	}
+	before := len(snap.Active[0].TMs)
+	rec.sample()
+	rec.sample()
+	if len(snap.Active[0].TMs) != before {
+		t.Error("snapshot shares storage with the live series")
+	}
+	// And it serializes cleanly, with the empty recent list as a JSON
+	// array rather than null.
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	if !strings.Contains(string(b), `"recent":[]`) {
+		t.Errorf("empty recent serialized as null: %s", b)
+	}
+	h.Finish()
+}
+
+// The background sampler records points on its own once started.
+func TestFlightBackgroundSampler(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, 2*time.Millisecond, []string{"a"})
+	rec.Start()
+	defer rec.Close()
+	h := rec.StartRun(0, "bg")
+	reg.Counter("a").Add(9)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if snap := rec.Snapshot(); len(snap.Active) == 1 && len(snap.Active[0].TMs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler recorded no points within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ts := h.Finish()
+	if got := ts.Series[0][len(ts.Series[0])-1]; got != 9 {
+		t.Errorf("final cumulative = %d, want 9", got)
+	}
+}

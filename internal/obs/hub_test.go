@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// Events reach every subscriber with the hub-stamped header fields; the
+// header wins over colliding caller fields.
+func TestHubPublishSubscribe(t *testing.T) {
+	h := NewHub()
+	if h.Active() {
+		t.Fatal("fresh hub reports Active")
+	}
+	ch, cancel := h.Subscribe(8)
+	defer cancel()
+	if !h.Active() {
+		t.Fatal("hub with a subscriber reports inactive")
+	}
+
+	h.Publish("task_done", Fields{"index": 3, "ev": "spoofed", "seq": 999})
+	line := <-ch
+	var got map[string]any
+	if err := json.Unmarshal(line, &got); err != nil {
+		t.Fatalf("event not JSON: %v (%q)", err, line)
+	}
+	if got["ev"] != "task_done" {
+		t.Errorf("ev = %v, want task_done (caller's spoof must lose)", got["ev"])
+	}
+	if got["index"].(float64) != 3 {
+		t.Errorf("index = %v", got["index"])
+	}
+	if got["seq"].(float64) == 999 {
+		t.Error("caller overrode the hub's seq")
+	}
+	if _, ok := got["t_ms"]; !ok {
+		t.Error("t_ms header missing")
+	}
+}
+
+// Sequence numbers increase across events; each subscriber sees its own
+// copy of every event.
+func TestHubFanout(t *testing.T) {
+	h := NewHub()
+	ch1, cancel1 := h.Subscribe(8)
+	ch2, cancel2 := h.Subscribe(8)
+	defer cancel1()
+	defer cancel2()
+	h.Publish("a", nil)
+	h.Publish("b", nil)
+	for _, ch := range []<-chan []byte{ch1, ch2} {
+		var prev float64 = -1
+		for i := 0; i < 2; i++ {
+			var ev map[string]any
+			if err := json.Unmarshal(<-ch, &ev); err != nil {
+				t.Fatal(err)
+			}
+			seq := ev["seq"].(float64)
+			if seq <= prev {
+				t.Errorf("seq not increasing: %g after %g", seq, prev)
+			}
+			prev = seq
+		}
+	}
+}
+
+// A full subscriber buffer drops events (counted) instead of blocking
+// the publisher.
+func TestHubDropOnSlow(t *testing.T) {
+	h := NewHub()
+	_, cancel := h.Subscribe(1) // deliberately tiny, never drained
+	defer cancel()
+	before := Default.Counter("obs.stream_dropped").Value()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			h.Publish("x", nil)
+		}
+		close(done)
+	}()
+	<-done // publishing must complete despite the stuck subscriber
+	if got := Default.Counter("obs.stream_dropped").Value(); got < before+49 {
+		t.Errorf("stream_dropped rose by %d, want >= 49", got-before)
+	}
+}
+
+// Cancel is idempotent and concurrent publishes never send on a closed
+// channel (run with -race).
+func TestHubCancelRace(t *testing.T) {
+	h := NewHub()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		ch, cancel := h.Subscribe(4)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for range ch {
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			cancel()
+			cancel()
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		h.Publish("x", Fields{"i": i})
+	}
+	wg.Wait()
+	if h.Active() {
+		t.Error("hub still active after all cancels")
+	}
+}

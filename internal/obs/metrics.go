@@ -271,3 +271,18 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
 }
+
+// WriteMetrics dumps the default registry in the format of the
+// -obs-metrics flag: "table" or "json".
+func WriteMetrics(w io.Writer, format string) error {
+	snap := Default.Snapshot()
+	switch format {
+	case "table":
+		snap.WriteTable(w)
+		return nil
+	case "json":
+		return snap.WriteJSON(w)
+	default:
+		return fmt.Errorf("unknown -obs-metrics format %q (want table or json)", format)
+	}
+}

@@ -472,6 +472,13 @@ type ProgressEvent struct {
 	Trivial bool
 	// Approx marks an (ε, δ)-estimated count (the approx backend).
 	Approx bool
+	// RunID identifies the verification run the event belongs to (0 when
+	// the caller did not allocate one); TUs is the event time in
+	// microseconds on the process-monotonic obs.SinceStart clock. Both
+	// are additive — existing consumers of the JSON form see the same
+	// keys as before plus these two.
+	RunID uint64
+	TUs   int64
 }
 
 // ProgressFunc observes per-bit completion events.
@@ -533,7 +540,11 @@ func (p *Plan) Run(ctx context.Context, be engine.Backend, cfg engine.Config, pr
 		Tasks:   p.Tasks,
 		Config:  cfg,
 	}
-	if progress != nil {
+	// The adapter is also installed when the live stream hub has
+	// subscribers, so an introspection client sees per-bit progress even
+	// when the caller passed no callback.
+	if progress != nil || obs.Stream.Active() {
+		runID := obs.RunFrom(ctx)
 		refs := p.taskRefs()
 		metricDone := make([]int, len(p.Metrics))
 		req.Progress = func(te engine.TaskEvent) {
@@ -549,11 +560,23 @@ func (p *Plan) Run(ctx context.Context, be engine.Backend, cfg engine.Config, pr
 					Shared:  !m.Owner[r.output],
 					Trivial: te.Trivial,
 					Approx:  te.Approx,
+					RunID:   runID,
+					TUs:     obs.SinceStart().Microseconds(),
 				}
 				if m.Owner[r.output] {
 					ev.Runtime, ev.Stats = te.Runtime, te.Stats
 				}
-				progress(ev)
+				if progress != nil {
+					progress(ev)
+				}
+				if obs.Stream.Active() {
+					obs.Stream.Publish("progress", obs.Fields{
+						"run_id": runID, "metric": ev.Metric, "output": ev.Output,
+						"count": ev.Count.String(), "done": ev.Done, "total": ev.Total,
+						"session_done": ev.SessionDone, "session_total": ev.SessionTotal,
+						"shared": ev.Shared, "trivial": ev.Trivial, "approx": ev.Approx,
+					})
+				}
 			}
 		}
 	}

@@ -1,0 +1,76 @@
+package plan
+
+import (
+	"encoding/json"
+	"math/big"
+	"testing"
+	"time"
+)
+
+// TestProgressEventJSONAdditive pins the JSON shape of ProgressEvent:
+// every key of the original struct must still be present under its old
+// name, and the run-correlation fields (RunID, TUs) must appear as new
+// keys — the serialization only ever grows, so trace consumers written
+// against older builds keep parsing.
+func TestProgressEventJSONAdditive(t *testing.T) {
+	ev := ProgressEvent{
+		Metric:  "MED",
+		Backend: "exact",
+		Index:   2, Output: "f3",
+		Count:  big.NewInt(42),
+		Weight: big.NewInt(4),
+		Done:   3, Total: 9,
+		SessionDone: 5, SessionTotal: 11,
+		Shared:  true,
+		Runtime: 1500 * time.Microsecond,
+		Trivial: false,
+		Approx:  true,
+		RunID:   7,
+		TUs:     123456,
+	}
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+
+	legacy := []string{
+		"Metric", "Backend", "Index", "Output", "Count", "Weight",
+		"Done", "Total", "SessionDone", "SessionTotal",
+		"Shared", "Runtime", "Stats", "Trivial", "Approx",
+	}
+	for _, k := range legacy {
+		if _, ok := m[k]; !ok {
+			t.Errorf("legacy key %q missing from ProgressEvent JSON", k)
+		}
+	}
+	for _, k := range []string{"RunID", "TUs"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("new key %q missing from ProgressEvent JSON", k)
+		}
+	}
+	if got := m["RunID"].(float64); got != 7 {
+		t.Errorf("RunID = %v, want 7", got)
+	}
+	if got := m["TUs"].(float64); got != 123456 {
+		t.Errorf("TUs = %v, want 123456", got)
+	}
+
+	// An older consumer decoding into a struct without the new fields
+	// must round-trip the legacy fields untouched.
+	type legacyEvent struct {
+		Metric string
+		Count  *big.Int
+		Done   int
+	}
+	var old legacyEvent
+	if err := json.Unmarshal(raw, &old); err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if old.Metric != "MED" || old.Count.Int64() != 42 || old.Done != 3 {
+		t.Errorf("legacy decode = %+v, want Metric=MED Count=42 Done=3", old)
+	}
+}

@@ -23,8 +23,11 @@ go build ./...
 
 echo "==> go test -race -short (cache/engine concurrency fast path)"
 # Focused first pass over the packages that share the component cache
-# across goroutines: fails fast on a cache race before the full suite.
-go test -race -short ./internal/counter ./internal/engine ./internal/plan ./internal/core
+# across goroutines — plus the observability hub/recorder/server, whose
+# whole point is concurrent access: fails fast on a race before the
+# full suite.
+go test -race -short ./internal/counter ./internal/engine ./internal/plan ./internal/core \
+	./internal/obs ./internal/obs/expo
 
 echo "==> go test -race"
 # 20m headroom over the 10m default: race instrumentation slows the
@@ -68,5 +71,21 @@ fi
 
 echo "==> traced quickstart (JSONL trace parses and is self-consistent)"
 go run ./examples/traced_verify >/dev/null
+
+echo "==> bench regression soft gate (vacsem-bench -diff vs committed baseline)"
+# Re-run the baseline's table with its exact parameters and diff against
+# the committed BENCH_*.json. A generous 2x time band absorbs CI machine
+# variance; value mismatches and status flips would still show. Soft
+# gate: a regression prints a loud warning but does not fail the check
+# (shared runners are too noisy for a hard wall-time gate).
+bench_baseline=BENCH_20260808T073516.json
+if go run ./cmd/vacsem-bench -table 4 -versions 2 -timelimit 10s \
+	-report "$apxdir/bench_new.json" >/dev/null &&
+	go run ./cmd/vacsem-bench -diff -diff-tol 2.0 \
+		"$bench_baseline" "$apxdir/bench_new.json"; then
+	echo "bench diff vs $bench_baseline: clean"
+else
+	echo "WARNING: bench regression vs $bench_baseline (soft gate, not failing the check)"
+fi
 
 echo "OK"
