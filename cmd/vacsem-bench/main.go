@@ -80,6 +80,7 @@ func run() int {
 	timeLimit := flag.Duration("timelimit", 0, "per-verification time limit (default 30s, 4h with -full)")
 	workers := flag.Int("workers", 1, "concurrent sub-miter solvers per run (0 = one per CPU; 1 reproduces the paper's single-thread timings)")
 	simWorkers := flag.Int("sim-workers", 1, "goroutines for exhaustive simulation block enumeration (0 = one per CPU; 1 keeps single-thread timings comparable)")
+	bddReorder := flag.Bool("bdd-reorder", false, "enable dynamic variable reordering (window sifting) in the bdd method")
 	sharedCache := flag.Bool("shared-cache", true, "share one component-count cache across each run's sub-miter solvers (counts are identical either way)")
 	report := flag.String("report", "auto", "JSON report path; auto = BENCH_<timestamp>.json, none = disabled")
 	tracePath := flag.String("trace", "", "write span/event trace (JSON lines) to this file")
@@ -120,7 +121,8 @@ func run() int {
 	cfg := bench.Config{
 		Full: *full, Versions: *versions, TimeLimit: *timeLimit,
 		Workers: *workers, SimWorkers: *simWorkers, NoSharedCache: !*sharedCache,
-		Epsilon: *epsilon, Delta: *delta, Seed: *countSeed,
+		BDDReorder: *bddReorder,
+		Epsilon:    *epsilon, Delta: *delta, Seed: *countSeed,
 	}
 	if *backendName != "" {
 		m, err := core.MethodByName(*backendName)

@@ -45,14 +45,26 @@ type node struct {
 	low, high Ref
 }
 
-// Manager owns the node table of one BDD universe with a fixed variable
-// order 0..NumVars-1 (level 0 at the top).
+// Manager owns the node table of one BDD universe. Variables map to
+// levels through the varAt/levelOf permutation (identity until dynamic
+// reordering runs); level 0 is at the top.
 type Manager struct {
 	numVars int
 	nodes   []node
 	unique  map[node]Ref
 	iteMemo map[[3]Ref]Ref
 	limit   int
+
+	// varAt[l] is the variable tested at level l; levelOf[v] its inverse.
+	// Sifting (reorder.go) permutes these; all other code addresses
+	// nodes by level, so only Var and Eval consult the maps.
+	varAt   []int32
+	levelOf []int32
+
+	// Dynamic-reordering state: autoReorder arms the sifting trigger in
+	// the build loop, firing at doubling node counts from reorderNext.
+	autoReorder bool
+	reorderNext int
 
 	ctx   context.Context // cancellation source (nil = none)
 	ticks uint32
@@ -79,7 +91,13 @@ func New(numVars, limit int) *Manager {
 		unique:     make(map[node]Ref),
 		iteMemo:    make(map[[3]Ref]Ref),
 		limit:      limit,
+		varAt:      make([]int32, numVars),
+		levelOf:    make([]int32, numVars),
 		growthNext: 1024,
+	}
+	for i := range m.varAt {
+		m.varAt[i] = int32(i)
+		m.levelOf[i] = int32(i)
 	}
 	// Terminals: level = numVars (below all variables).
 	m.nodes[False] = node{level: int32(numVars)}
@@ -121,12 +139,13 @@ func (m *Manager) poll() error {
 	return nil
 }
 
-// Var returns the BDD of variable i.
+// Var returns the BDD of variable i (at whatever level dynamic
+// reordering has currently placed it).
 func (m *Manager) Var(i int) (Ref, error) {
 	if i < 0 || i >= m.numVars {
 		return 0, fmt.Errorf("bdd: variable %d out of range", i)
 	}
-	return m.mk(int32(i), False, True)
+	return m.mk(m.levelOf[i], False, True)
 }
 
 // mk hash-conses a node, applying the reduction rules.
@@ -260,7 +279,7 @@ func (m *Manager) CountOnes(f Ref) *big.Int {
 func (m *Manager) Eval(f Ref, in []bool) bool {
 	for f != False && f != True {
 		n := m.nodes[f]
-		if in[n.level] {
+		if in[m.varAt[n.level]] {
 			f = n.high
 		} else {
 			f = n.low
@@ -348,9 +367,19 @@ func DFSOrder(c *circuit.Circuit) []int {
 }
 
 // BuildOutputsOrdered is BuildOutputs with an explicit variable order:
-// pos[i] is the BDD level of circuit input i (nil means declaration
+// pos[i] is the BDD variable of circuit input i (nil means declaration
 // order).
 func (m *Manager) BuildOutputsOrdered(c *circuit.Circuit, pos []int) ([]Ref, error) {
+	return m.BuildNodesOrdered(c, pos, c.Outputs)
+}
+
+// BuildNodesOrdered builds the BDDs of the given circuit nodes (any
+// nodes, not just primary outputs), with circuit input i mapped to BDD
+// variable pos[i] (nil means declaration order). Gates outside the
+// target cones are skipped. The returned refs parallel ids. When
+// EnableAutoReorder is armed, sifting runs between gate lowerings at
+// doubling node-count thresholds.
+func (m *Manager) BuildNodesOrdered(c *circuit.Circuit, pos []int, ids []int) ([]Ref, error) {
 	defer m.flushObs()
 	if c.NumInputs() != m.numVars {
 		return nil, fmt.Errorf("bdd: circuit has %d inputs, manager %d vars",
@@ -360,23 +389,32 @@ func (m *Manager) BuildOutputsOrdered(c *circuit.Circuit, pos []int) ([]Ref, err
 		return nil, fmt.Errorf("bdd: order has %d entries for %d inputs", len(pos), c.NumInputs())
 	}
 	refs := make([]Ref, len(c.Nodes))
-	mark := c.ConeMark(c.Outputs...)
+	built := make([]bool, len(c.Nodes))
+	mark := c.ConeMark(ids...)
 	for i, id := range c.Inputs {
-		level := i
+		v := i
 		if pos != nil {
-			level = pos[i]
+			v = pos[i]
 		}
-		v, err := m.Var(level)
+		r, err := m.Var(v)
 		if err != nil {
 			return nil, err
 		}
-		refs[id] = v
+		refs[id] = r
+		built[id] = true
 	}
 	refs[0] = False
+	built[0] = true
 	for id := 1; id < len(c.Nodes); id++ {
 		nd := &c.Nodes[id]
 		if nd.Kind == circuit.Input || !mark[id] {
 			continue
+		}
+		if m.autoReorder && len(m.nodes) >= m.reorderNext {
+			m.reorderNext = len(m.nodes) * 2
+			if err := m.Reorder(liveRoots(refs, built)); err != nil {
+				return nil, err
+			}
 		}
 		var r Ref
 		var err error
@@ -433,12 +471,26 @@ func (m *Manager) BuildOutputsOrdered(c *circuit.Circuit, pos []int) ([]Ref, err
 			return nil, err
 		}
 		refs[id] = r
+		built[id] = true
 	}
-	outs := make([]Ref, len(c.Outputs))
-	for j, o := range c.Outputs {
+	outs := make([]Ref, len(ids))
+	for j, o := range ids {
 		outs[j] = refs[o]
 	}
 	return outs, nil
+}
+
+// liveRoots gathers every ref built so far: partial results still feed
+// later gate lowerings, so all of them anchor the live-size metric the
+// sifter optimizes (and none may change function during a swap).
+func liveRoots(refs []Ref, built []bool) []Ref {
+	roots := make([]Ref, 0, len(refs))
+	for id, ok := range built {
+		if ok && refs[id] > True {
+			roots = append(roots, refs[id])
+		}
+	}
+	return roots
 }
 
 // flushObs pushes the ITE-call delta since the previous flush and the

@@ -47,6 +47,9 @@ type Config struct {
 	// kernel uses per verification (0 = one per CPU; counts are
 	// bit-identical at any setting).
 	SimWorkers int
+	// BDDReorder enables dynamic variable reordering in the bdd method
+	// (counts are identical either way; node counts and runtimes change).
+	BDDReorder bool
 	// NoSharedCache gives every sub-miter solver a private component
 	// cache instead of the run-wide shared one (ablation; counts are
 	// identical either way).
@@ -97,6 +100,7 @@ func (c Config) options(m core.Method) core.Options {
 	return core.Options{
 		Method: m, TimeLimit: c.TimeLimit,
 		Workers: c.Workers, SimWorkers: c.SimWorkers,
+		BDDReorder:         c.BDDReorder,
 		DisableSharedCache: c.NoSharedCache,
 		Epsilon:            c.Epsilon, Delta: c.Delta, Seed: c.Seed,
 	}

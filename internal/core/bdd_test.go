@@ -31,6 +31,45 @@ func TestBDDMethodAgreesOnRandomCircuits(t *testing.T) {
 	}
 }
 
+// TestBDDMethodWithReorderAgrees runs the same cross-check with dynamic
+// variable reordering enabled: sifting changes node counts, never
+// values, all the way through the public API.
+func TestBDDMethodWithReorderAgrees(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		exact := testutil.RandomCircuit(4+int(seed%5), 10+int(seed*3%25), 3, seed+60)
+		approx := approxVersion(exact, seed*5+1)
+		wantER, wantMED, _ := refMetrics(exact, approx)
+		er, err := VerifyER(exact, approx, Options{Method: MethodBDD, BDDReorder: true})
+		if err != nil {
+			t.Fatalf("seed %d ER: %v", seed, err)
+		}
+		if er.Value.Cmp(wantER) != 0 {
+			t.Errorf("seed %d: reordered BDD ER = %v, want %v", seed, er.Value, wantER)
+		}
+		med, err := VerifyMED(exact, approx, Options{Method: MethodBDD, BDDReorder: true})
+		if err != nil {
+			t.Fatalf("seed %d MED: %v", seed, err)
+		}
+		if med.Value.Cmp(wantMED) != 0 {
+			t.Errorf("seed %d: reordered BDD MED = %v, want %v", seed, med.Value, wantMED)
+		}
+	}
+	// A larger instance where the auto-trigger actually fires.
+	exact := gen.RippleCarryAdder(12)
+	approx := als.LowerORAdder(12, 5)
+	b, err := VerifyMED(exact, approx, Options{Method: MethodBDD, BDDReorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := VerifyMED(exact, approx, Options{Method: MethodEnum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Value.Cmp(e.Value) != 0 {
+		t.Errorf("reordered BDD MED %v != enum %v", b.Value, e.Value)
+	}
+}
+
 func TestBDDMethodOnAdder(t *testing.T) {
 	// DD methods handle adders well (linear BDDs) — the paper notes they
 	// support up to 32-bit adders. Verify a 16-bit LOA.

@@ -194,6 +194,9 @@ type Options struct {
 	// BDDNodeLimit caps the decision-diagram size for MethodBDD
 	// (default 1<<22 nodes).
 	BDDNodeLimit int
+	// BDDReorder enables dynamic variable reordering (window sifting)
+	// during MethodBDD's diagram builds.
+	BDDReorder bool
 	// Workers bounds the number of tasks solved concurrently.
 	// 0 means runtime.GOMAXPROCS(0); 1 forces sequential solving.
 	// Results are deterministic regardless of the worker count.
@@ -233,6 +236,7 @@ func (o *Options) engineConfig() engine.Config {
 		DisableIBCP:     o.DisableIBCP,
 		DisableLearning: o.DisableLearning,
 		BDDNodeLimit:    o.BDDNodeLimit,
+		BDDReorder:      o.BDDReorder,
 		Workers:         o.Workers,
 		SimWorkers:      o.SimWorkers,
 		Epsilon:         o.Epsilon,

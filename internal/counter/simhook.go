@@ -139,13 +139,15 @@ func (s *Solver) trySimulate(comp *component) (*big.Int, bool) {
 		}
 	}
 
-	// 5. Simulate: compile the component to an instruction tape and count
-	// consistent patterns with the shared kernel. Gates in ascending
+	// 5. Simulate: compile the component to a fused instruction tape and
+	// count consistent patterns with the shared kernel. Gates in ascending
 	// node-id order are in topological order (a circuit invariant checked
 	// by Validate at encode time). Pinned inputs (decided variables, plus
-	// free-but-irrelevant fanins, which stay at 0) become constant words;
-	// gates whose CNF variable is decided become check instructions on the
-	// program's consistency accumulator.
+	// free-but-irrelevant fanins, which stay at 0) become complement edges
+	// off the constant-zero slot; gates whose CNF variable is decided fold
+	// into AND/AND-NOT check instructions on the program's consistency
+	// accumulator (complement edges pick the polarity, so a decided
+	// Buf/Not chain costs no extra instructions).
 	sort.Slice(gates, func(i, j int) bool { return gates[i] < gates[j] })
 	pinned := make([]sim.PinnedInput, len(pinnedInputs))
 	for i, n := range pinnedInputs {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vacsem/internal/bdd"
+	"vacsem/internal/circuit"
 	"vacsem/internal/obs"
 	"vacsem/internal/synth"
 )
@@ -43,12 +44,36 @@ func (bddBackend) Execute(ctx context.Context, req *Request) ([]TaskResult, erro
 	}
 	start := time.Now()
 	mgr := bdd.New(work.NumInputs(), req.Config.BDDNodeLimit)
-	outs, err := mgr.BuildOutputsCtx(ctx, work, bdd.DFSOrder(work))
+	if req.Config.BDDReorder {
+		mgr.EnableAutoReorder()
+	}
+	// XOR-rooted task outputs (the ER/Hamming deviation bits: exact XOR
+	// approx) are counted by the pair traversal over their two fanin
+	// diagrams instead of materializing the XOR — the XOR of two large
+	// diagrams is routinely bigger than both, and is exactly where
+	// fixed-order BDD flows blow their node budget.
+	targets := make([]int, 0, len(work.Outputs)) // node ids to build
+	targetAt := make([]int, len(work.Outputs))   // task -> index in targets
+	pairTask := make([]bool, len(work.Outputs))  // task counted as a pair?
+	for j, o := range work.Outputs {
+		nd := &work.Nodes[o]
+		if nd.Kind == circuit.Xor {
+			targetAt[j] = len(targets)
+			pairTask[j] = true
+			targets = append(targets, nd.Fanins[0], nd.Fanins[1])
+			continue
+		}
+		targetAt[j] = len(targets)
+		targets = append(targets, o)
+	}
+	mgr.SetContext(ctx)
+	refs, err := mgr.BuildNodesOrdered(work, bdd.DFSOrder(work), targets)
+	mgr.SetContext(nil)
 	if err != nil {
 		return nil, err
 	}
 	results := make([]TaskResult, len(req.Tasks))
-	for j, f := range outs {
+	for j := range req.Tasks {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -58,11 +83,21 @@ func (bddBackend) Execute(ctx context.Context, req *Request) ([]TaskResult, erro
 				"backend": "bdd", "index": j, "output": req.Tasks[j].Label,
 			})
 		}
-		res := TaskResult{Count: mgr.CountOnes(f)}
+		var res TaskResult
+		var size int
+		if pairTask[j] {
+			fa, fb := refs[targetAt[j]], refs[targetAt[j]+1]
+			res = TaskResult{Count: mgr.CountDifferent(fa, fb)}
+			size = mgr.Size(fa) + mgr.Size(fb)
+		} else {
+			f := refs[targetAt[j]]
+			res = TaskResult{Count: mgr.CountOnes(f)}
+			size = mgr.Size(f)
+		}
 		results[j] = res
 		if tr != nil {
 			tr.EndSpan(span, "sub_miter", obs.Fields{
-				"index": j, "output": req.Tasks[j].Label, "bdd_size": mgr.Size(f),
+				"index": j, "output": req.Tasks[j].Label, "bdd_size": size,
 				"count": res.Count.String(), "stats": res.Stats,
 			})
 		}

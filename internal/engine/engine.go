@@ -65,6 +65,9 @@ type Config struct {
 	// BDDNodeLimit caps the decision-diagram size for the bdd backend
 	// (default 1<<22 nodes).
 	BDDNodeLimit int
+	// BDDReorder enables dynamic variable reordering (window sifting)
+	// during the bdd backend's diagram builds.
+	BDDReorder bool
 	// Workers bounds the number of tasks solved concurrently by backends
 	// that fan out (the counting backends). 0 means
 	// runtime.GOMAXPROCS(0); 1 forces sequential solving.

@@ -49,18 +49,33 @@ func TestCountOnesPerOutputCtxCancel(t *testing.T) {
 
 func TestChunkBatches(t *testing.T) {
 	cases := []struct {
-		tapeLen int
-		want    uint64
+		tapeLen    int
+		numBatches uint64
+		workers    int
+		wantClaim  uint64
+		wantPoll   uint64
 	}{
-		{0, 128},      // clamp high when the tape is free to evaluate
-		{1, 128},      // 2^18 / 8 exceeds the cap
-		{1 << 15, 1},  // huge tape: poll every batch
-		{1 << 30, 1},  // clamp low
-		{1 << 10, 32}, // 2^18 / (2^10 * 8)
+		// Tiny tape over a huge range: the old fixed 128-batch cap made
+		// this degenerate into 2^15 contended cursor claims; claims must
+		// now scale with total work (numBatches / (workers * 16)).
+		{1, 1 << 22, 8, 1 << 15, 1 << 15},
+		{0, 1 << 22, 8, 1 << 15, 1 << 15}, // degenerate tape clamps to len 1
+		// Huge tape: poll every batch, claim still work-scaled.
+		{1 << 15, 1 << 10, 4, 16, 1},
+		{1 << 30, 1 << 10, 4, 16, 1},
+		// Mid-size tape, serial: claim = numBatches/16, poll = 2^18/(2^10*8).
+		{1 << 10, 1 << 8, 1, 16, 32},
+		// Fewer batches than claims: clamp claim (and poll) to >= 1.
+		{1 << 10, 4, 8, 1, 32},
+		{1, 0, 1, 1, 1 << 15},
+		// workers <= 0 clamps to 1.
+		{1, 1 << 10, 0, 64, 1 << 15},
 	}
 	for _, tc := range cases {
-		if got := chunkBatches(tc.tapeLen); got != tc.want {
-			t.Errorf("chunkBatches(%d) = %d, want %d", tc.tapeLen, got, tc.want)
+		claim, poll := chunkBatches(tc.tapeLen, tc.numBatches, tc.workers)
+		if claim != tc.wantClaim || poll != tc.wantPoll {
+			t.Errorf("chunkBatches(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				tc.tapeLen, tc.numBatches, tc.workers, claim, poll, tc.wantClaim, tc.wantPoll)
 		}
 	}
 }

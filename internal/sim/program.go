@@ -22,7 +22,10 @@ const BatchWords = 8
 
 // Metrics of the compiled kernel. Updated once per CountOnes call (not
 // per block), plus once per compilation, so the always-on cost is a few
-// atomic adds per enumeration.
+// atomic adds per enumeration. The claim/scratch counters exist because
+// the parallel-scaling post-mortem (DESIGN.md §3i) showed that without
+// them, cursor contention and allocation churn are invisible: the
+// kernel looked "parallel" while every worker fought over tiny chunks.
 var (
 	mKernelPatterns = obs.Default.Counter("sim.kernel_patterns")
 	mKernelBlocks   = obs.Default.Counter("sim.kernel_blocks")
@@ -30,11 +33,24 @@ var (
 	gKernelWorkers  = obs.Default.Gauge("sim.kernel_workers")
 	mCompiles       = obs.Default.Counter("sim.kernel_compiles")
 	hCompileSeconds = obs.Default.Histogram("sim.kernel_compile_seconds", nil)
+	// mKernelClaims counts cursor claims across all parallel
+	// enumerations: claims/enumeration ≈ workers × claimsPerWorker when
+	// chunk sizing is healthy, and explodes when it is not.
+	mKernelClaims = obs.Default.Counter("sim.kernel_claims")
+	// gClaimBatches is the high-water claim size in batches.
+	gClaimBatches = obs.Default.Gauge("sim.kernel_claim_batches")
+	// mScratchAllocs counts cold value-array allocations (pool misses).
+	mScratchAllocs = obs.Default.Counter("sim.kernel_scratch_allocs")
+	// mFusedNodes counts circuit nodes the fused lowering eliminated
+	// (Buf/Not folded into complement edges, gates outside every output
+	// cone dropped).
+	mFusedNodes = obs.Default.Counter("sim.kernel_fused_nodes")
 )
 
 // opcode is a dense gate operation of the instruction tape. Inverted
 // forms get their own opcodes so no gate ever needs a second pass, and
-// opAndN/opOnes exist for the counter's consistency accumulator.
+// opAndN/opOrN absorb complemented operands during fused lowering
+// (opAndN doubles as the counter's consistency-accumulator clear).
 type opcode uint8
 
 const (
@@ -47,6 +63,7 @@ const (
 	opXor                // dst = a ^ b
 	opXnor               // dst = ^(a ^ b)
 	opAndN               // dst = a &^ b
+	opOrN                // dst = a | ^b
 	opMux                // dst = (a & c) | (^a & b); a selects
 	opMaj                // dst = majority(a, b, c)
 	opOnes               // dst = all-ones (accumulator reset)
@@ -68,14 +85,6 @@ type PinnedInput struct {
 	Val  bool
 }
 
-// constInit records a slot that holds a constant word; applied once per
-// value-array allocation (slot 0 is implicitly constant zero and never
-// written by any instruction).
-type constInit struct {
-	off int32
-	val uint64
-}
-
 // Program is a circuit (or gate subset) lowered to a flat instruction
 // tape, evaluated over batches of BatchWords words. A Program is
 // immutable after compilation and safe for concurrent evaluation: all
@@ -86,7 +95,6 @@ type Program struct {
 	nSlots  int     // value array length = nSlots * BatchWords
 	inputs  []int32 // word offset of each enumerated input, in order
 	outputs []int32 // word offset of each counted output
-	consts  []constInit
 	pool    sync.Pool
 }
 
@@ -96,19 +104,16 @@ func (p *Program) NumInputs() int { return len(p.inputs) }
 // NumOutputs returns the number of counted outputs.
 func (p *Program) NumOutputs() int { return len(p.outputs) }
 
-// Len returns the number of tape instructions (one per compiled gate,
-// plus check instructions for component programs).
+// Len returns the number of tape instructions (one per live gate after
+// fusion, plus check instructions for component programs).
 func (p *Program) Len() int { return len(p.ins) }
 
 func (p *Program) finish() {
 	p.pool.New = func() any {
+		// Slot 0 is the constant-zero slot: zeroed here and never the
+		// destination of any instruction, so it stays zero across reuse.
+		mScratchAllocs.Inc()
 		v := make([]uint64, p.nSlots*BatchWords)
-		for _, c := range p.consts {
-			dst := v[c.off : c.off+BatchWords]
-			for i := range dst {
-				dst[i] = c.val
-			}
-		}
 		return &v
 	}
 	mCompiles.Add(1)
@@ -117,8 +122,164 @@ func (p *Program) finish() {
 func (p *Program) getVals() *[]uint64  { return p.pool.Get().(*[]uint64) }
 func (p *Program) putVals(v *[]uint64) { p.pool.Put(v) }
 
-// gateInstr lowers one gate node to a tape entry. off maps node id to
-// the node's word offset, or -1 when the node has no slot.
+// lit is a complement-edge value reference used during fused lowering:
+// the word offset of the slot holding the plain value plus a negation
+// flag, resolved into fused opcodes (or one materialized opNot) at the
+// point of use.
+type lit struct {
+	off int32
+	neg bool
+}
+
+// lowerer emits fused tape instructions, AIG-style: Buf and Not nodes
+// become complement edges on their consumers instead of instructions,
+// two-input gates with negated operands select fused opcodes (a &^ b,
+// a | ^b, NAND, NOR, XNOR), and only the rare Mux/Maj operand that
+// cannot fuse materializes an explicit opNot (once per negated slot).
+type lowerer struct {
+	ins     []instr
+	nSlots  int
+	notMemo map[int32]int32 // plain slot offset -> materialized ^ offset
+	fused   uint64          // nodes folded away (Buf/Not/dead gates)
+}
+
+func newLowerer(reservedSlots int) *lowerer {
+	return &lowerer{nSlots: reservedSlots, notMemo: make(map[int32]int32)}
+}
+
+func (lw *lowerer) newOff() int32 {
+	off := int32(lw.nSlots) * BatchWords
+	lw.nSlots++
+	return off
+}
+
+func (lw *lowerer) emit(op opcode, dst, a, b, c int32) {
+	lw.ins = append(lw.ins, instr{op: op, dst: dst, a: a, b: b, c: c})
+}
+
+// materialize returns a slot offset holding the literal's value as a
+// plain word, emitting (and memoizing) an explicit complement when the
+// literal is negated.
+func (lw *lowerer) materialize(l lit) int32 {
+	if !l.neg {
+		return l.off
+	}
+	if off, ok := lw.notMemo[l.off]; ok {
+		return off
+	}
+	dst := lw.newOff()
+	lw.emit(opNot, dst, l.off, 0, 0)
+	lw.notMemo[l.off] = dst
+	return dst
+}
+
+// lowerGate emits the fused instruction of one gate over already-
+// lowered fanin literals and returns the gate's literal.
+func (lw *lowerer) lowerGate(kind circuit.Kind, fi [3]lit) (lit, error) {
+	switch kind {
+	case circuit.Buf:
+		lw.fused++
+		return fi[0], nil
+	case circuit.Not:
+		lw.fused++
+		return lit{off: fi[0].off, neg: !fi[0].neg}, nil
+	case circuit.Xor, circuit.Xnor:
+		// Operand complements fold into the output parity.
+		neg := kind == circuit.Xnor
+		if fi[0].neg {
+			neg = !neg
+		}
+		if fi[1].neg {
+			neg = !neg
+		}
+		op := opXor
+		if neg {
+			op = opXnor
+		}
+		dst := lw.newOff()
+		lw.emit(op, dst, fi[0].off, fi[1].off, 0)
+		return lit{off: dst}, nil
+	case circuit.And, circuit.Nand, circuit.Or, circuit.Nor:
+		a, b := fi[0], fi[1]
+		neg := kind == circuit.Nand || kind == circuit.Nor // output complement
+		isAnd := kind == circuit.And || kind == circuit.Nand
+		x, y := a.off, b.off
+		var op opcode
+		switch {
+		case !a.neg && !b.neg:
+			if isAnd {
+				op = opAnd
+			} else {
+				op = opOr
+			}
+			if neg {
+				op++ // opAnd->opNand, opOr->opNor (adjacent opcodes)
+			}
+		case a.neg && b.neg:
+			// De Morgan: ^a & ^b = ^(a | b), ^a | ^b = ^(a & b).
+			if isAnd {
+				op = opNor
+				if neg {
+					op = opOr
+				}
+			} else {
+				op = opNand
+				if neg {
+					op = opAnd
+				}
+			}
+		default:
+			// Exactly one operand complemented: plain operand first.
+			if a.neg {
+				x, y = b.off, a.off
+			}
+			if isAnd {
+				op = opAndN // p & ^n
+				if neg {
+					op, x, y = opOrN, y, x // ^(p & ^n) = n | ^p
+				}
+			} else {
+				op = opOrN // p | ^n
+				if neg {
+					op, x, y = opAndN, y, x // ^(p | ^n) = n &^ p
+				}
+			}
+		}
+		dst := lw.newOff()
+		lw.emit(op, dst, x, y, 0)
+		return lit{off: dst}, nil
+	case circuit.Mux:
+		s, e, t := fi[0], fi[1], fi[2] // s ? t : e
+		if s.neg {
+			s.neg = false
+			e, t = t, e
+		}
+		dst := lw.newOff()
+		if e.neg && t.neg {
+			// Mux(s, ^e, ^t) = ^Mux(s, e, t): fold into the output edge.
+			lw.emit(opMux, dst, s.off, e.off, t.off)
+			return lit{off: dst, neg: true}, nil
+		}
+		lw.emit(opMux, dst, s.off, lw.materialize(e), lw.materialize(t))
+		return lit{off: dst}, nil
+	case circuit.Maj:
+		dst := lw.newOff()
+		if fi[0].neg && fi[1].neg && fi[2].neg {
+			// Maj(^a, ^b, ^c) = ^Maj(a, b, c).
+			lw.emit(opMaj, dst, fi[0].off, fi[1].off, fi[2].off)
+			return lit{off: dst, neg: true}, nil
+		}
+		lw.emit(opMaj, dst, lw.materialize(fi[0]), lw.materialize(fi[1]), lw.materialize(fi[2]))
+		return lit{off: dst}, nil
+	default:
+		return lit{}, fmt.Errorf("sim: cannot compile %v gate", kind)
+	}
+}
+
+// gateInstr lowers one gate node to an unfused tape entry. off maps
+// node id to the node's word offset. Used by Compile, which must keep
+// every node's value addressable (slot == node id) and therefore cannot
+// fold Buf/Not away.
 func gateInstr(nd *circuit.Node, dst int32, off func(int) int32) (instr, error) {
 	in := instr{dst: dst}
 	switch len(nd.Fanins) {
@@ -159,7 +320,8 @@ func gateInstr(nd *circuit.Node, dst int32, off func(int) int32) (instr, error) 
 // Compile lowers a full circuit to a Program. Slot assignment is the
 // identity (slot == node id), so callers can read any node's words back
 // from the value array; the primary outputs become the program outputs
-// and the primary inputs, in circuit order, the enumerated inputs.
+// and the primary inputs, in circuit order, the enumerated inputs. No
+// fusion happens here — use CompileOutputs when only the outputs matter.
 func Compile(c *circuit.Circuit) *Program {
 	start := time.Now()
 	p := &Program{nSlots: len(c.Nodes)}
@@ -189,87 +351,131 @@ func Compile(c *circuit.Circuit) *Program {
 	return p
 }
 
-// CompileComponent lowers a gate subset to a Program whose single
-// output counts consistent patterns: gates must be in topological
-// (ascending id) order, freeInputs are enumerated in the given order,
-// pinned inputs hold constant words, and check(g) returns +1 when gate
-// g's value is required to be 1, -1 when required to be 0, and 0 for an
-// unconstrained gate. The accumulator starts all-ones per batch and is
-// ANDed with each checking gate's (possibly negated) word, so the one-
-// count of the output is exactly the number of consistent patterns.
-//
-// Slots are compacted to the referenced nodes only, so the value array
-// is sized by the component, not the host circuit.
-func CompileComponent(c *circuit.Circuit, gates []int32, freeInputs []int32, pinned []PinnedInput, check func(int32) int8) (*Program, error) {
+// CompileOutputs lowers the output cones of a circuit to a fused
+// Program: Buf/Not nodes fold into complement edges, complemented
+// operands select fused opcodes, gates outside every output cone are
+// dropped, and slots are compacted to the live nodes — so the tape is
+// shorter and the value array smaller than Compile's. Only the outputs
+// are addressable afterwards; use Compile when per-node signatures must
+// be readable back. Counts are bit-identical to Compile's (same logic
+// functions, same enumeration order).
+func CompileOutputs(c *circuit.Circuit) *Program {
 	start := time.Now()
+	lw := newLowerer(1) // slot 0: constant zero
+	mark := c.ConeMark(c.Outputs...)
+	lits := make([]lit, len(c.Nodes)) // zero value = constant-zero literal
 	p := &Program{}
-	// Slot 0 is constant zero; slot 1 the accumulator.
-	const accSlot = 1
-	nSlots := 2
-	slots := make(map[int32]int32, len(gates)+len(freeInputs)+len(pinned))
-	alloc := func(n int32) int32 {
-		s, ok := slots[n]
-		if !ok {
-			s = int32(nSlots)
-			nSlots++
-			slots[n] = s
+	p.inputs = make([]int32, len(c.Inputs))
+	// Inputs keep their circuit order; inputs outside every output cone
+	// share one write-only slot (they must stay enumerated — the pattern
+	// space is 2^NumInputs — but their words are never read).
+	dummy := int32(-1)
+	for i, id := range c.Inputs {
+		if mark[id] {
+			off := lw.newOff()
+			lits[id] = lit{off: off}
+			p.inputs[i] = off
+		} else {
+			if dummy < 0 {
+				dummy = lw.newOff()
+			}
+			p.inputs[i] = dummy
 		}
-		return s
 	}
-	p.inputs = make([]int32, len(freeInputs))
-	for i, n := range freeInputs {
-		p.inputs[i] = alloc(n) * BatchWords
-	}
-	var onesSlot int32 = -1
-	for _, pi := range pinned {
-		if !pi.Val {
-			slots[pi.Node] = 0 // constant-zero slot
+	for id := 1; id < len(c.Nodes); id++ {
+		nd := &c.Nodes[id]
+		if nd.Kind == circuit.Input || nd.Kind == circuit.Const0 {
 			continue
 		}
-		if onesSlot < 0 {
-			onesSlot = int32(nSlots)
-			nSlots++
-			p.consts = append(p.consts, constInit{off: onesSlot * BatchWords, val: ^uint64(0)})
+		if !mark[id] {
+			lw.fused++ // dead gate
+			continue
 		}
-		slots[pi.Node] = onesSlot
-	}
-	accOff := int32(accSlot) * BatchWords
-	p.ins = make([]instr, 0, len(gates)+4)
-	p.ins = append(p.ins, instr{op: opOnes, dst: accOff})
-	off := func(id int) int32 {
-		s, ok := slots[int32(id)]
-		if !ok {
-			// A fanin that is neither a mapped gate, a free input, nor a
-			// pinned input: the component recovery missed it.
-			return -1
+		var fi [3]lit
+		for k, f := range nd.Fanins {
+			fi[k] = lits[f]
 		}
-		return s * BatchWords
+		l, err := lw.lowerGate(nd.Kind, fi)
+		if err != nil {
+			panic(err) // unreachable: Validate rejects unknown kinds
+		}
+		lits[id] = l
 	}
+	p.outputs = make([]int32, len(c.Outputs))
+	for j, id := range c.Outputs {
+		p.outputs[j] = lw.materialize(lits[id])
+	}
+	p.ins = lw.ins
+	p.nSlots = lw.nSlots
+	mFusedNodes.Add(lw.fused)
+	p.finish()
+	hCompileSeconds.Observe(time.Since(start).Seconds())
+	return p
+}
+
+// CompileComponent lowers a gate subset to a fused Program whose single
+// output counts consistent patterns: gates must be in topological
+// (ascending id) order, freeInputs are enumerated in the given order,
+// pinned inputs hold constant values, and check(g) returns +1 when gate
+// g's value is required to be 1, -1 when required to be 0, and 0 for an
+// unconstrained gate. The accumulator starts all-ones per batch and is
+// ANDed with each checking gate's literal (complement edges select
+// opAnd vs opAndN), so the one-count of the output is exactly the
+// number of consistent patterns.
+//
+// Slots are compacted to the live nodes only (Buf/Not gates fold into
+// complement edges), so the value array is sized by the component, not
+// the host circuit.
+func CompileComponent(c *circuit.Circuit, gates []int32, freeInputs []int32, pinned []PinnedInput, check func(int32) int8) (*Program, error) {
+	start := time.Now()
+	lw := newLowerer(2) // slot 0: constant zero; slot 1: accumulator
+	accOff := int32(1) * BatchWords
+	lits := make(map[int32]lit, len(gates)+len(freeInputs)+len(pinned))
+	p := &Program{}
+	p.inputs = make([]int32, len(freeInputs))
+	for i, n := range freeInputs {
+		off := lw.newOff()
+		lits[n] = lit{off: off}
+		p.inputs[i] = off
+	}
+	for _, pi := range pinned {
+		// Slot 0 is constant zero, so a pinned-1 input is its complement
+		// edge — no constant-ones slot needed.
+		lits[pi.Node] = lit{off: 0, neg: pi.Val}
+	}
+	lw.emit(opOnes, accOff, 0, 0, 0)
 	for _, g := range gates {
 		nd := &c.Nodes[g]
-		for _, fn := range nd.Fanins {
-			if _, ok := slots[int32(fn)]; !ok && c.Nodes[fn].Kind != circuit.Const0 {
-				return nil, fmt.Errorf("sim: component gate %d has unmapped fanin %d", g, fn)
+		var fi [3]lit
+		for k, fn := range nd.Fanins {
+			l, ok := lits[int32(fn)]
+			if !ok {
+				if c.Nodes[fn].Kind != circuit.Const0 {
+					// A fanin that is neither a mapped gate, a free input,
+					// nor a pinned input: the component recovery missed it.
+					return nil, fmt.Errorf("sim: component gate %d has unmapped fanin %d", g, fn)
+				}
+				lits[int32(fn)] = lit{}
 			}
-			if c.Nodes[fn].Kind == circuit.Const0 {
-				slots[int32(fn)] = 0
-			}
+			fi[k] = l
 		}
-		dst := alloc(g) * BatchWords
-		in, err := gateInstr(nd, dst, off)
+		l, err := lw.lowerGate(nd.Kind, fi)
 		if err != nil {
 			return nil, err
 		}
-		p.ins = append(p.ins, in)
-		switch check(g) {
-		case 1: // gate decided TRUE: keep patterns where it is 1
-			p.ins = append(p.ins, instr{op: opAnd, dst: accOff, a: accOff, b: dst})
-		case -1: // decided FALSE: keep patterns where it is 0
-			p.ins = append(p.ins, instr{op: opAndN, dst: accOff, a: accOff, b: dst})
+		lits[g] = l
+		switch want := check(g); {
+		case want == 0:
+		case (want == 1) != l.neg: // keep patterns where the literal word is 1
+			lw.emit(opAnd, accOff, accOff, l.off, 0)
+		default: // keep patterns where the literal word is 0
+			lw.emit(opAndN, accOff, accOff, l.off, 0)
 		}
 	}
 	p.outputs = []int32{accOff}
-	p.nSlots = nSlots
+	p.ins = lw.ins
+	p.nSlots = lw.nSlots
+	mFusedNodes.Add(lw.fused)
 	p.finish()
 	hCompileSeconds.Observe(time.Since(start).Seconds())
 	return p, nil
@@ -325,6 +531,11 @@ func (p *Program) evalBatch(v []uint64) {
 			for w := 0; w < BatchWords; w++ {
 				d[w] = a[w] &^ b[w]
 			}
+		case opOrN:
+			b := (*[BatchWords]uint64)(v[ins.b:])
+			for w := 0; w < BatchWords; w++ {
+				d[w] = a[w] | ^b[w]
+			}
 		case opMux:
 			b := (*[BatchWords]uint64)(v[ins.b:])
 			cc := (*[BatchWords]uint64)(v[ins.c:])
@@ -346,7 +557,7 @@ func (p *Program) evalBatch(v []uint64) {
 }
 
 // eval1 runs the tape over a single word index w of the value array;
-// used when fewer than BatchWords blocks exist.
+// used when only one block exists.
 func (p *Program) eval1(v []uint64, w int32) {
 	for i := range p.ins {
 		ins := &p.ins[i]
@@ -369,6 +580,8 @@ func (p *Program) eval1(v []uint64, w int32) {
 			v[ins.dst+w] = ^(v[ins.a+w] ^ v[ins.b+w])
 		case opAndN:
 			v[ins.dst+w] = v[ins.a+w] &^ v[ins.b+w]
+		case opOrN:
+			v[ins.dst+w] = v[ins.a+w] | ^v[ins.b+w]
 		case opMux:
 			s := v[ins.a+w]
 			v[ins.dst+w] = (s & v[ins.c+w]) | (^s & v[ins.b+w])
@@ -381,25 +594,42 @@ func (p *Program) eval1(v []uint64, w int32) {
 	}
 }
 
-// fillEnumBatch writes the enumeration input words for the BatchWords
-// consecutive blocks starting at block b0 (b0 is BatchWords-aligned).
-// Inputs 0-5 are constant per block; inputs >= 9 are constant across an
-// aligned batch of 8 blocks; only inputs 6-8 vary word by word.
+// fillEnumBase writes the enum-constant enumeration inputs (0-5, the
+// canonical base patterns) once per value array per enumeration, so the
+// per-batch fill only touches inputs that actually change. The
+// constancy classes come from simword.Classify so the fill strategy
+// stays pinned to the shared pattern-word definitions.
+func (p *Program) fillEnumBase(v []uint64) {
+	for i, o := range p.inputs {
+		if simword.Classify(i, BatchWords) != simword.EnumConstant {
+			break
+		}
+		dst := (*[BatchWords]uint64)(v[o:])
+		w := simword.BasePatterns[i]
+		for j := range dst {
+			dst[j] = w
+		}
+	}
+}
+
+// fillEnumBatch writes the varying enumeration input words for the
+// BatchWords consecutive blocks starting at block b0 (b0 is
+// BatchWords-aligned). Enum-constant inputs were written once by
+// fillEnumBase; batch-constant inputs get one word replicated across
+// the batch; only per-word inputs are filled word by word.
 func (p *Program) fillEnumBatch(v []uint64, b0 uint64) {
 	for i, o := range p.inputs {
-		dst := (*[BatchWords]uint64)(v[o:])
-		switch {
-		case i < 6:
-			w := simword.BasePatterns[i]
-			for j := range dst {
-				dst[j] = w
-			}
-		case i >= 9:
+		switch simword.Classify(i, BatchWords) {
+		case simword.EnumConstant:
+			continue
+		case simword.BatchConstant:
+			dst := (*[BatchWords]uint64)(v[o:])
 			w := simword.InputWord(i, b0)
 			for j := range dst {
 				dst[j] = w
 			}
 		default:
+			dst := (*[BatchWords]uint64)(v[o:])
 			for j := range dst {
 				dst[j] = simword.InputWord(i, b0+uint64(j))
 			}
@@ -407,23 +637,41 @@ func (p *Program) fillEnumBatch(v []uint64, b0 uint64) {
 	}
 }
 
-// chunkBatches sizes the unit of work a worker claims at a time (and
-// the cancellation-poll interval) by tape length: roughly a constant
-// number of gate evaluations per chunk, so heavy miters poll every few
-// batches while trivial circuits don't pay per-batch synchronization.
-func chunkBatches(tapeLen int) uint64 {
+// chunkBatches sizes the parallel kernel's two work granularities for
+// an enumeration of numBatches batches over a tape of tapeLen
+// instructions:
+//
+//   - claim is the unit of work a worker takes from the shared cursor
+//     in one atomic add, scaled to the total work (~claimsPerWorker
+//     claims per worker) so short tapes over large pattern ranges don't
+//     degenerate into cursor-contention storms. The old fixed 128-batch
+//     cap made a 1-instruction tape over 2^22 batches perform 32768
+//     contended claims; work-scaled sizing keeps it at ~claimsPerWorker
+//     × workers regardless of tape length.
+//   - poll is the cancellation-poll interval in batches, tracking a
+//     constant number of gate evaluations so heavy miters poll every
+//     few batches while trivial tapes don't pay per-batch ctx checks.
+//
+// Claim and poll are deliberately decoupled: claims grew with total
+// work, but cancellation latency must not.
+func chunkBatches(tapeLen int, numBatches uint64, workers int) (claim, poll uint64) {
 	const targetGateEvals = 1 << 18
+	const claimsPerWorker = 16
 	if tapeLen < 1 {
 		tapeLen = 1
 	}
-	chunk := uint64(targetGateEvals / (tapeLen * BatchWords))
-	if chunk == 0 {
-		return 1
+	if workers < 1 {
+		workers = 1
 	}
-	if chunk > 128 {
-		return 128
+	poll = targetGateEvals / uint64(tapeLen*BatchWords)
+	if poll == 0 {
+		poll = 1
 	}
-	return chunk
+	claim = numBatches / (uint64(workers) * claimsPerWorker)
+	if claim == 0 {
+		claim = 1
+	}
+	return claim, poll
 }
 
 // CountOnes exhaustively enumerates all 2^NumInputs patterns and
@@ -431,7 +679,7 @@ func chunkBatches(tapeLen int) uint64 {
 // is 1. workers bounds the block-range parallelism: <= 0 means
 // GOMAXPROCS. Per-output counts are merged by uint64 addition, so the
 // result is bit-identical at any worker count. Cancellation is
-// cooperative with one ctx poll per claimed chunk.
+// cooperative, polled every ~2^18 gate evaluations.
 func (p *Program) CountOnes(ctx context.Context, workers int) ([]uint64, error) {
 	n := len(p.inputs)
 	if n > 62 {
@@ -453,23 +701,53 @@ func (p *Program) CountOnes(ctx context.Context, workers int) ([]uint64, error) 
 	return counts, nil
 }
 
+// accStride returns the per-worker row stride, in uint64 words, of the
+// shared accumulator matrix: the output count rounded up to whole
+// 64-byte cache lines plus one guard line, so two workers' rows can
+// never share a line regardless of the allocation's alignment.
+func accStride(outputs int) int {
+	return (outputs+7)&^7 + 8
+}
+
 func (p *Program) countBlocks(ctx context.Context, workers int, blocks, total uint64) ([]uint64, error) {
 	counts := make([]uint64, len(p.outputs))
-	// Small case: under one batch of blocks, run word-at-a-time on one
-	// pooled array. The only place a partial-block mask can be needed
-	// (total < 64 means blocks == 1).
+	// Small case: under one batch of blocks. The only place a
+	// partial-block mask can be needed (total < 64 means blocks == 1).
 	if blocks < BatchWords {
 		vp := p.getVals()
 		defer p.putVals(vp)
 		v := *vp
-		for b := uint64(0); b < blocks; b++ {
+		if blocks == 1 {
 			for i, o := range p.inputs {
-				v[o] = simword.InputWord(i, b)
+				v[o] = simword.InputWord(i, 0)
 			}
 			p.eval1(v, 0)
-			mask := simword.BlockMask(b, total)
+			mask := simword.BlockMask(0, total)
 			for j, o := range p.outputs {
-				counts[j] += uint64(bits.OnesCount64(v[o] & mask))
+				counts[j] = uint64(bits.OnesCount64(v[o] & mask))
+			}
+		} else {
+			// 2 or 4 full blocks: evaluate them all in one batch pass, one
+			// block per word, instead of per-block eval1 sweeps — the tape
+			// is dispatched once instead of `blocks` times.
+			for i, o := range p.inputs {
+				dst := (*[BatchWords]uint64)(v[o:])
+				for b := range dst {
+					blk := uint64(b)
+					if blk >= blocks {
+						blk = blocks - 1 // dead words beyond the last block
+					}
+					dst[b] = simword.InputWord(i, blk)
+				}
+			}
+			p.evalBatch(v)
+			for j, o := range p.outputs {
+				out := (*[BatchWords]uint64)(v[o:])
+				ones := 0
+				for b := uint64(0); b < blocks; b++ {
+					ones += bits.OnesCount64(out[b])
+				}
+				counts[j] = uint64(ones)
 			}
 		}
 		if err := ctx.Err(); err != nil {
@@ -481,47 +759,77 @@ func (p *Program) countBlocks(ctx context.Context, workers int, blocks, total ui
 	// blocks is a power of two >= BatchWords here, so it divides into
 	// whole batches and every block is full (total is a multiple of 64).
 	numBatches := blocks / BatchWords
-	chunk := chunkBatches(len(p.ins))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if max := numBatches / chunk; max > 0 && uint64(workers) > max {
+	claim, poll := chunkBatches(len(p.ins), numBatches, workers)
+	if max := (numBatches + claim - 1) / claim; max > 0 && uint64(workers) > max {
 		workers = int(max)
 	}
 	if workers < 1 {
 		workers = 1
 	}
 	gKernelWorkers.SetMax(int64(workers))
+	gClaimBatches.SetMax(int64(claim))
+
+	// Per-worker accumulator rows live in one shared matrix, each row
+	// padded to whole cache lines (accStride), so workers never write
+	// the same line (no false sharing) and the merge is a single pass by
+	// the coordinator after the barrier — no mutex on the hot path.
+	stride := accStride(len(p.outputs))
+	acc := make([]uint64, workers*stride)
 
 	var cursor atomic.Uint64
 	var mu sync.Mutex
 	var firstErr error
-	poll := ctx.Done() != nil
-	run := func() {
+	pollCtx := ctx.Done() != nil
+	run := func(w int) {
 		vp := p.getVals()
 		defer p.putVals(vp)
 		v := *vp
-		local := make([]uint64, len(p.outputs))
+		p.fillEnumBase(v)
+		local := acc[w*stride : w*stride+len(p.outputs)]
+		claims := uint64(0)
+		sincePoll := uint64(0)
 		for {
-			end := cursor.Add(chunk)
-			batch := end - chunk
+			end := cursor.Add(claim)
+			batch := end - claim
 			if batch >= numBatches {
 				break
 			}
-			if poll {
+			claims++
+			if end > numBatches {
+				end = numBatches
+			}
+			// One mandatory poll per claim (claims are few and large)
+			// guarantees a pre-cancelled ctx never completes a claim, plus
+			// a countdown poll inside big claims for bounded latency.
+			if pollCtx {
 				if err := ctx.Err(); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
 					}
 					mu.Unlock()
-					break
+					mKernelClaims.Add(claims)
+					return
 				}
 			}
-			if end > numBatches {
-				end = numBatches
-			}
 			for ; batch < end; batch++ {
+				if pollCtx {
+					if sincePoll++; sincePoll >= poll {
+						sincePoll = 0
+						if err := ctx.Err(); err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							mu.Unlock()
+							mKernelClaims.Add(claims)
+							return
+						}
+					}
+				}
 				p.fillEnumBatch(v, batch*BatchWords)
 				p.evalBatch(v)
 				for j, o := range p.outputs {
@@ -534,28 +842,30 @@ func (p *Program) countBlocks(ctx context.Context, workers int, blocks, total ui
 				}
 			}
 		}
-		mu.Lock()
-		for j := range counts {
-			counts[j] += local[j]
-		}
-		mu.Unlock()
+		mKernelClaims.Add(claims)
 	}
 
 	if workers == 1 {
-		run()
+		run(0)
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for i := 0; i < workers; i++ {
-			go func() {
+			go func(w int) {
 				defer wg.Done()
-				run()
-			}()
+				run(w)
+			}(i)
 		}
 		wg.Wait()
 	}
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	for w := 0; w < workers; w++ {
+		row := acc[w*stride:]
+		for j := range counts {
+			counts[j] += row[j]
+		}
 	}
 	return counts, nil
 }
@@ -564,7 +874,8 @@ func (p *Program) countBlocks(ctx context.Context, workers int, blocks, total ui
 // i's word w) through the tape in BatchWords-wide batches, invoking
 // gather(v, w0, n) after each batch with the value array, the base word
 // index, and the number of valid words n (n < BatchWords only on the
-// final partial batch). One ctx poll happens per chunk of batches.
+// final partial batch). One ctx poll happens per poll interval of
+// batches.
 func (p *Program) runVectors(ctx context.Context, vectors [][]uint64, words int, gather func(v []uint64, w0, n int)) error {
 	if len(vectors) != len(p.inputs) {
 		panic(fmt.Sprintf("sim: runVectors got %d input rows, want %d", len(vectors), len(p.inputs)))
@@ -572,10 +883,10 @@ func (p *Program) runVectors(ctx context.Context, vectors [][]uint64, words int,
 	vp := p.getVals()
 	defer p.putVals(vp)
 	v := *vp
-	chunk := int(chunkBatches(len(p.ins)))
-	poll := ctx.Done() != nil
-	for w0, batch := 0, 0; w0 < words; w0, batch = w0+BatchWords, batch+1 {
-		if poll && batch%chunk == 0 {
+	_, poll := chunkBatches(len(p.ins), 0, 1)
+	pollCtx := ctx.Done() != nil
+	for w0, batch := 0, uint64(0); w0 < words; w0, batch = w0+BatchWords, batch+1 {
+		if pollCtx && batch%poll == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"vacsem/internal/circuit"
 	"vacsem/internal/testutil"
@@ -57,7 +59,7 @@ func TestParallelCountsBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, workers := range []int{2, runtime.GOMAXPROCS(0), 0} {
+		for _, workers := range []int{2, 8, runtime.GOMAXPROCS(0), 0} {
 			got, err := CountOnesPerOutputWorkers(context.Background(), c, workers)
 			if err != nil {
 				t.Fatal(err)
@@ -226,4 +228,113 @@ func popcount(x uint64) int {
 		n++
 	}
 	return n
+}
+
+// TestFusedMatchesIdentityTape pins the fused compiler's core property:
+// CompileOutputs (complement edges, fused opcodes, dead-gate drop,
+// compacted slots) counts exactly what the unfused identity-slot tape
+// counts, over random circuits spanning the single-block, small-batch
+// (2 and 4 block) and multi-batch enumeration paths.
+func TestFusedMatchesIdentityTape(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		nIn := 1 + int(seed%16) // 2^1 .. 2^16 patterns
+		c := testutil.RandomCircuit(nIn, 5+int(seed*9%120), 1+int(seed%4), seed)
+		want, err := Compile(c).CountOnes(context.Background(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused := CompileOutputs(c)
+		if fused.Len() > Compile(c).Len() {
+			t.Errorf("seed %d: fused tape longer than identity tape (%d > %d)",
+				seed, fused.Len(), Compile(c).Len())
+		}
+		got, err := fused.CountOnes(context.Background(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("seed %d output %d: fused %d, identity %d", seed, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestCountOnesCancelNoMetricLeak cancels an enumeration mid-flight and
+// asserts the kernel's success metrics (patterns/blocks, and the
+// enum-path aggregates feeding the flight recorder and bench reports)
+// do not advance: a cancelled run must not leak a partial count into
+// sim_blocks_per_sec or any recorded snapshot.
+func TestCountOnesCancelNoMetricLeak(t *testing.T) {
+	c := testutil.RandomCircuit(28, 600, 2, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	beforeKP, beforeKB := mKernelPatterns.Value(), mKernelBlocks.Value()
+	beforeEP, beforeEB := mEnumPatterns.Value(), mEnumBlocks.Value()
+	beforeKS, beforeES := hKernelSeconds.Count(), hEnumSeconds.Count()
+	if _, err := CountOnesPerOutputWorkers(ctx, c, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if v := mKernelPatterns.Value(); v != beforeKP {
+		t.Errorf("sim.kernel_patterns advanced by %d on a cancelled run", v-beforeKP)
+	}
+	if v := mKernelBlocks.Value(); v != beforeKB {
+		t.Errorf("sim.kernel_blocks advanced by %d on a cancelled run", v-beforeKB)
+	}
+	if v := mEnumPatterns.Value(); v != beforeEP {
+		t.Errorf("sim.enum_patterns advanced by %d on a cancelled run", v-beforeEP)
+	}
+	if v := mEnumBlocks.Value(); v != beforeEB {
+		t.Errorf("sim.enum_blocks advanced by %d on a cancelled run", v-beforeEB)
+	}
+	if v := hKernelSeconds.Count(); v != beforeKS {
+		t.Errorf("sim.kernel_seconds observed %d samples on a cancelled run", v-beforeKS)
+	}
+	if v := hEnumSeconds.Count(); v != beforeES {
+		t.Errorf("sim.enum_batch_seconds observed %d samples on a cancelled run", v-beforeES)
+	}
+}
+
+// TestParallelScalingSmoke measures parallel/serial throughput on the
+// scaled bench miter and warns (soft gate, mirroring the bench -diff
+// gate in scripts/check.sh) when 4 workers deliver under 2x serial.
+// Machines without at least 4 CPUs cannot exhibit the speedup at all,
+// so the smoke skips there; set VACSEM_SCALING_HARD=1 to turn the
+// warning into a failure on dedicated hardware.
+func TestParallelScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling smoke needs a multi-hundred-millisecond miter; skipped in -short")
+	}
+	if n := runtime.GOMAXPROCS(0); n < 4 {
+		t.Skipf("scaling smoke needs >= 4 CPUs, have GOMAXPROCS=%d", n)
+	}
+	c := testutil.RandomCircuit(26, 300, 4, 123) // benchCircuitLarge
+	p := CompileOutputs(c)
+	measure := func(workers int) (float64, []uint64) {
+		start := time.Now()
+		counts, err := p.CountOnes(context.Background(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start).Seconds(), counts
+	}
+	measure(4) // warm-up: page in the tape and scratch arrays
+	serialSec, serialCounts := measure(1)
+	parSec, parCounts := measure(4)
+	for j := range serialCounts {
+		if parCounts[j] != serialCounts[j] {
+			t.Fatalf("output %d: parallel count %d != serial %d", j, parCounts[j], serialCounts[j])
+		}
+	}
+	ratio := serialSec / parSec
+	t.Logf("scaling smoke: serial %.3fs, 4 workers %.3fs, speedup %.2fx", serialSec, parSec, ratio)
+	if ratio < 2 {
+		msg := "SCALING WARNING: parallel CountOnes speedup " +
+			"below 2x at 4 workers — kernel scaling regression?"
+		if os.Getenv("VACSEM_SCALING_HARD") == "1" {
+			t.Errorf("%s (%.2fx)", msg, ratio)
+		} else {
+			t.Logf("%s (%.2fx)", msg, ratio)
+		}
+	}
 }

@@ -140,7 +140,7 @@ func CountOnesPerOutputWorkers(ctx context.Context, c *circuit.Circuit, workers 
 		blocks = 1
 	}
 	start := time.Now()
-	p := Compile(c)
+	p := CompileOutputs(c)
 	counts, err := p.CountOnes(ctx, workers)
 	if err != nil {
 		return nil, err
@@ -188,7 +188,7 @@ func RunMany(c *circuit.Circuit, vectors [][]uint64, words int) [][]uint64 {
 // runs through the compiled kernel's chunked batches and polls ctx
 // between chunks.
 func RunManyCtx(ctx context.Context, c *circuit.Circuit, vectors [][]uint64, words int) ([][]uint64, error) {
-	p := Compile(c)
+	p := CompileOutputs(c)
 	out := make([][]uint64, len(c.Outputs))
 	for j := range out {
 		out[j] = make([]uint64, words)

@@ -41,3 +41,38 @@ func BlockMask(block, total uint64) uint64 {
 	}
 	return (uint64(1) << rem) - 1
 }
+
+// Input-variation classes over a run of batchWords consecutive blocks
+// whose first block index is a multiple of batchWords. The enumeration
+// kernel keys its fill strategy on them: EnumConstant inputs are
+// written once per enumeration, BatchConstant inputs once per batch,
+// and only PerWord inputs once per word.
+type Variation int
+
+const (
+	// EnumConstant inputs (0-5) encode the pattern bits inside a block:
+	// their words are the BasePatterns, identical in every block.
+	EnumConstant Variation = iota
+	// PerWord inputs encode the low bits of the block index, which
+	// change from word to word inside a batch.
+	PerWord
+	// BatchConstant inputs encode block-index bits above the batch
+	// width: constant across one aligned batch, varying between batches.
+	BatchConstant
+)
+
+// Classify reports how input i's simulation word varies across an
+// aligned batch of batchWords blocks (batchWords must be a power of
+// two). Bit b of the block index selects input 6+b, so inputs up to
+// 6+log2(batchWords) vary within a batch and everything above is
+// constant across it.
+func Classify(i, batchWords int) Variation {
+	if i < 6 {
+		return EnumConstant
+	}
+	shift := uint(i) - 6
+	if uint64(batchWords)>>shift <= 1 {
+		return BatchConstant
+	}
+	return PerWord
+}

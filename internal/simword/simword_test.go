@@ -22,6 +22,39 @@ func TestInputWordBitwise(t *testing.T) {
 	}
 }
 
+// TestClassifyAgainstInputWord checks Classify against InputWord's
+// ground truth: an input is batch-constant iff its word is identical
+// across every aligned batch probed, and per-word otherwise.
+func TestClassifyAgainstInputWord(t *testing.T) {
+	for _, batchWords := range []int{1, 2, 4, 8, 16} {
+		for i := 0; i < 40; i++ {
+			got := Classify(i, batchWords)
+			if i < 6 {
+				if got != EnumConstant {
+					t.Fatalf("Classify(%d, %d) = %v, want EnumConstant", i, batchWords, got)
+				}
+				continue
+			}
+			varies := false
+			for _, b0 := range []uint64{0, uint64(batchWords), 1 << 20} {
+				w0 := InputWord(i, b0)
+				for j := 1; j < batchWords; j++ {
+					if InputWord(i, b0+uint64(j)) != w0 {
+						varies = true
+					}
+				}
+			}
+			want := BatchConstant
+			if varies {
+				want = PerWord
+			}
+			if got != want {
+				t.Fatalf("Classify(%d, %d) = %v, want %v", i, batchWords, got, want)
+			}
+		}
+	}
+}
+
 func TestBlockMask(t *testing.T) {
 	cases := []struct {
 		block, total, want uint64
