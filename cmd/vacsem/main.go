@@ -84,6 +84,8 @@ func run() int {
 		epsilon     = flag.Float64("epsilon", 0, "approx backend: multiplicative tolerance ε (0 = default 0.8)")
 		delta       = flag.Float64("delta", 0, "approx backend: failure probability δ (0 = default 0.2)")
 		countSeed   = flag.Int64("count-seed", 0, "seed for the approx backend's XOR sampling (reproducible runs)")
+		hashDensity = flag.Float64("hash-density", 0, "approx backend: hash-row density in (0, 0.5] (0 = automatic sparse schedule; 0.5 = classical dense rows)")
+		minSupport  = flag.Bool("min-support", true, "approx backend: shrink the sampling set by independent-support minimization before probing")
 		threshold   = flag.String("threshold", "0", "deviation threshold for -metric thr")
 		timeLimit   = flag.Duration("timelimit", 0, "abort after this duration (0 = none)")
 		noSynth     = flag.Bool("nosynth", false, "skip the synthesis (compress) step")
@@ -143,6 +145,8 @@ func run() int {
 		Epsilon:            *epsilon,
 		Delta:              *delta,
 		Seed:               *countSeed,
+		HashDensity:        *hashDensity,
+		NoSupportMin:       !*minSupport,
 	}, *progress, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "vacsem:", err)
 		exitCode = 1
@@ -298,8 +302,12 @@ func parseThreshold(threshold string) (*big.Int, error) {
 // the true value lies within a (1+ε) factor of the reported one with
 // the stated confidence.
 func approxLine(res *core.Result) string {
-	return fmt.Sprintf("value ± ε (ε=%g) @ confidence %.4g (δ=%.4g)",
+	line := fmt.Sprintf("value ± ε (ε=%g) @ confidence %.4g (δ=%.4g)",
 		res.Epsilon, res.Confidence, res.Delta)
+	if res.BestEffort {
+		line += "  [best effort: time limit cut the round schedule; δ widened]"
+	}
+	return line
 }
 
 func statsLine(s counter.Stats) string {
@@ -315,7 +323,11 @@ func printSubs(subs []core.SubResult) {
 			shared = "  (shared task)"
 		}
 		if sub.Approx {
-			shared += fmt.Sprintf("  (approx ε=%g δ=%g)", sub.Epsilon, sub.Delta)
+			shared += fmt.Sprintf("  (approx ε=%g δ=%g support %d->%d density %.3g)",
+				sub.Epsilon, sub.Delta, sub.SupportBefore, sub.SupportAfter, sub.HashDensity)
+			if sub.BestEffort {
+				shared += "  (best effort)"
+			}
 		}
 		fmt.Printf("  %-8s count=%-14s weight=%-10s nodes %d->%d  %v  (dec=%d sim=%d cache=%d)%s\n",
 			sub.Output, sub.Count, sub.Weight, sub.NodesBefore, sub.NodesAfter,

@@ -62,6 +62,12 @@ type Config struct {
 	Epsilon float64
 	Delta   float64
 	Seed    int64
+	// HashDensity pins the approx backend's hash-row density (0 = the
+	// automatic sparse schedule; 0.5 = the classical dense family).
+	HashDensity float64
+	// NoSupportMin disables the approx backend's independent-support
+	// minimization (ablation).
+	NoSupportMin bool
 	// OnRun, when non-nil, receives one RunRecord per individual
 	// verification (each approximate version of each benchmark, per
 	// method), carrying the per-sub-miter wall times the text tables
@@ -103,6 +109,8 @@ func (c Config) options(m core.Method) core.Options {
 		BDDReorder:         c.BDDReorder,
 		DisableSharedCache: c.NoSharedCache,
 		Epsilon:            c.Epsilon, Delta: c.Delta, Seed: c.Seed,
+		HashDensity:  c.HashDensity,
+		NoSupportMin: c.NoSupportMin,
 	}
 }
 

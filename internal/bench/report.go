@@ -32,6 +32,15 @@ type SubRecord struct {
 	Approx  bool    `json:"approx,omitempty"`
 	Epsilon float64 `json:"epsilon,omitempty"`
 	Delta   float64 `json:"delta,omitempty"`
+	// BestEffort marks an approx count whose round schedule was cut
+	// short by the time limit (Delta above is already widened).
+	BestEffort bool `json:"best_effort,omitempty"`
+	// SupportBefore/SupportAfter are the approx sampling-set sizes
+	// around independent-support minimization; HashDensity is the mean
+	// density of the hash rows drawn.
+	SupportBefore int     `json:"support_before,omitempty"`
+	SupportAfter  int     `json:"support_after,omitempty"`
+	HashDensity   float64 `json:"hash_density,omitempty"`
 }
 
 // RunRecord is one (benchmark, metric, method, version) measurement.
@@ -58,6 +67,9 @@ type RunRecord struct {
 	Epsilon    float64 `json:"epsilon,omitempty"`
 	Delta      float64 `json:"delta,omitempty"`
 	Confidence float64 `json:"confidence,omitempty"`
+	// BestEffort marks an approx run whose round schedule was cut short
+	// by the time limit on at least one task (Delta is already widened).
+	BestEffort bool `json:"best_effort,omitempty"`
 	// Timeseries is the flight recorder's sampled series for the run
 	// (present when vacsem-bench records flight data, the default).
 	Timeseries *obs.Timeseries `json:"timeseries,omitempty"`
@@ -98,22 +110,27 @@ func newRunRecord(bench, metric string, m core.Method, version int, res *core.Re
 		rec.Epsilon = res.Epsilon
 		rec.Delta = res.Delta
 		rec.Confidence = res.Confidence
+		rec.BestEffort = res.BestEffort
 	}
 	rec.Timeseries = res.Timeseries
 	rec.Subs = make([]SubRecord, len(res.Subs))
 	for i, sub := range res.Subs {
 		rec.Subs[i] = SubRecord{
-			Output:     sub.Output,
-			Seconds:    sub.Runtime.Seconds(),
-			Count:      sub.Count.String(),
-			Trivial:    sub.Trivial,
-			Decisions:  sub.Stats.Decisions,
-			SimCalls:   sub.Stats.SimCalls,
-			CacheHits:  sub.Stats.CacheHits,
-			CacheCross: sub.Stats.CacheCrossHits,
-			Approx:     sub.Approx,
-			Epsilon:    sub.Epsilon,
-			Delta:      sub.Delta,
+			Output:        sub.Output,
+			Seconds:       sub.Runtime.Seconds(),
+			Count:         sub.Count.String(),
+			Trivial:       sub.Trivial,
+			Decisions:     sub.Stats.Decisions,
+			SimCalls:      sub.Stats.SimCalls,
+			CacheHits:     sub.Stats.CacheHits,
+			CacheCross:    sub.Stats.CacheCrossHits,
+			Approx:        sub.Approx,
+			Epsilon:       sub.Epsilon,
+			Delta:         sub.Delta,
+			BestEffort:    sub.BestEffort,
+			SupportBefore: sub.SupportBefore,
+			SupportAfter:  sub.SupportAfter,
+			HashDensity:   sub.HashDensity,
 		}
 	}
 	return rec

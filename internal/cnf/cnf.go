@@ -14,6 +14,8 @@ package cnf
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"slices"
@@ -322,6 +324,46 @@ func (f *Formula) NumEncodedInputs() int {
 		}
 	}
 	return n
+}
+
+// ContentKey returns a digest identifying the formula's logical content:
+// the variable count, the clause list and the native parity rows, in
+// order. Two formulas with equal keys constrain the same models under
+// the same variable numbering, so solver-independent derived results
+// (probe outcomes, component counts keyed on top of it) can be shared
+// between them. It deliberately ignores the circuit metadata: two
+// structurally identical cones cut from different places of a miter
+// encode to the same clause list and must share a key — that is the
+// whole point. The key is a SHA-256 digest, so distinct formulas
+// colliding is cryptographically negligible.
+func (f *Formula) ContentKey() string {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	writeInt := func(v int64) {
+		n := binary.PutVarint(buf[:], v)
+		h.Write(buf[:n])
+	}
+	writeInt(int64(f.NumVars))
+	writeInt(int64(len(f.Clauses)))
+	for _, cl := range f.Clauses {
+		writeInt(int64(len(cl)))
+		for _, l := range cl {
+			writeInt(int64(l))
+		}
+	}
+	writeInt(int64(len(f.Xors)))
+	for _, x := range f.Xors {
+		writeInt(int64(len(x.Vars)))
+		for _, v := range x.Vars {
+			writeInt(int64(v))
+		}
+		if x.Rhs {
+			writeInt(1)
+		} else {
+			writeInt(0)
+		}
+	}
+	return string(h.Sum(nil))
 }
 
 // WriteDIMACS writes the formula in DIMACS cnf format. A "c t <track>"

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math/big"
 	"testing"
 
 	"vacsem/internal/als"
+	"vacsem/internal/circuit"
 	"vacsem/internal/gen"
 	"vacsem/internal/testutil"
 )
@@ -134,6 +136,66 @@ func TestApproxSeedDeterminism(t *testing.T) {
 	}
 	if a.Approx != b.Approx || a.Epsilon != b.Epsilon || a.Delta != b.Delta {
 		t.Errorf("approx metadata differs across worker counts: %+v vs %+v", a, b)
+	}
+}
+
+// TestApproxProbeReuseAcrossTasks: two structurally isomorphic output
+// cones over disjoint input halves are distinct plan tasks (the dedup
+// key includes input positions) but extract to identical cone circuits
+// and therefore identical CNF. Because every task draws its hash rows
+// from the session seed alone and the engine shares one probe cache per
+// approx session, the second task must replay the first task's probes
+// from the cache instead of re-counting. Workers is pinned to 1 so the
+// first task completes before the second starts: at least half of all
+// probes are then cache hits, and the two estimates are identical.
+func TestApproxProbeReuseAcrossTasks(t *testing.T) {
+	m := circuit.New("twin_parity")
+	ins := make([]int, 16)
+	for i := range ins {
+		ins[i] = m.AddInput(fmt.Sprintf("x%d", i))
+	}
+	parity := func(lo int) int {
+		g := ins[lo]
+		for i := lo + 1; i < lo+8; i++ {
+			g = m.AddGate(circuit.Xor, g, ins[i])
+		}
+		return g
+	}
+	m.AddOutput(parity(0), "d0")
+	m.AddOutput(parity(8), "d1")
+	// Each parity cone has 128 models over its 8 inputs — above the
+	// ε=0.8 pivot of 72, so both tasks go through XOR hashing.
+	res, err := VerifyMiter("twin_parity", m,
+		[]*big.Int{big.NewInt(1), big.NewInt(1)},
+		Options{Method: MethodApprox, Epsilon: 0.8, Delta: 0.2, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subs) != 2 {
+		t.Fatalf("expected 2 sub-miter tasks, got %d", len(res.Subs))
+	}
+	if !res.Subs[0].Approx || !res.Subs[1].Approx {
+		t.Fatalf("expected both tasks hashed, got Approx=%v/%v",
+			res.Subs[0].Approx, res.Subs[1].Approx)
+	}
+	if res.Subs[0].Count.Cmp(res.Subs[1].Count) != 0 {
+		t.Errorf("isomorphic tasks disagree: %s vs %s",
+			res.Subs[0].Count, res.Subs[1].Count)
+	}
+	probes, reused := res.TotalStats.ApproxProbes, res.TotalStats.ApproxProbesReused
+	if probes == 0 {
+		t.Fatal("no hash-cell probes recorded")
+	}
+	if reused == 0 || 2*reused < probes {
+		t.Errorf("cross-task probe reuse too low: %d of %d probes reused", reused, probes)
+	}
+	if reused >= probes {
+		t.Errorf("reuse cannot exceed total probes: %d of %d", reused, probes)
+	}
+	// Both cones are odd-parity functions: P(output=1) = 1/2 each, so
+	// the weighted metric value is exactly 1.
+	if !ratWithinBand(res.Value, big.NewRat(1, 1), 0.8) {
+		t.Errorf("metric value %s outside (1+0.8) band of 1", res.Value.RatString())
 	}
 }
 

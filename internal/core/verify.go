@@ -213,10 +213,23 @@ type Options struct {
 	// default of 0.2). Exact methods ignore it.
 	Delta float64
 	// Seed drives every randomized path of the run — today MethodApprox's
-	// XOR sampling (each task derives its stream from Seed and its task
-	// index, so results are reproducible at any worker count). The exact
-	// methods are fully deterministic and ignore it.
+	// XOR sampling (hash rows are a pure function of Seed and position,
+	// so results are reproducible at any worker count and structurally
+	// identical tasks share probe outcomes). The exact methods are fully
+	// deterministic and ignore it.
 	Seed int64
+	// HashDensity pins MethodApprox's hash-row density (probability each
+	// sampling variable joins a parity row). 0 means the automatic
+	// sparse schedule; 0.5 is the classical dense family (ablation
+	// baseline). Exact methods ignore it.
+	HashDensity float64
+	// NoSupportMin disables MethodApprox's independent-support
+	// minimization pass (ablation). Exact methods ignore it.
+	NoSupportMin bool
+	// ApproxBisect restores MethodApprox's pre-scaling boundary
+	// bisection instead of the boundary walk (ablation; estimates are
+	// identical either way). Exact methods ignore it.
+	ApproxBisect bool
 	// Progress, when non-nil, receives one event per completed metric
 	// output bit (possibly out of output order under concurrency; calls
 	// are serialized). The callback must not block.
@@ -242,6 +255,9 @@ func (o *Options) engineConfig() engine.Config {
 		Epsilon:         o.Epsilon,
 		Delta:           o.Delta,
 		Seed:            o.Seed,
+		HashDensity:     o.HashDensity,
+		NoSupportMin:    o.NoSupportMin,
+		ApproxBisect:    o.ApproxBisect,
 	}
 }
 
@@ -274,6 +290,11 @@ type Result struct {
 	Approx         bool
 	Epsilon, Delta float64
 	Confidence     float64
+	// BestEffort marks an approximate value whose round schedule was cut
+	// short by the time limit on at least one task: the (1+Epsilon) band
+	// is unchanged but Delta (and Confidence) already reflect the
+	// widened per-task failure probabilities.
+	BestEffort bool
 	// Timeseries is the flight recorder's sampled time-series of the run
 	// (decisions, propagations, cache traffic, sim throughput, ... as
 	// cumulative deltas since the run started). Nil unless a recorder was
@@ -510,11 +531,14 @@ func mapErr(ctx context.Context, err error) error {
 // approxBand aggregates the per-task (ε, δ) guarantees of a metric's
 // bits. The metric tolerance is the largest per-task epsilon (a sum of
 // nonnegative weighted counts lands in the (1+ε) band when every term
-// does), and the failure probability is the union bound 1 - Π(1-δ_t)
+// does), and the failure probability is the union bound min(Σ δ_t, 1)
 // over the metric's distinct approximate tasks — shared bits reuse one
-// task's estimate, so each task contributes its δ once.
+// task's estimate, so each task contributes its δ once. The union bound
+// (rather than the independence product 1 - Π(1-δ_t)) is deliberate:
+// sibling tasks draw their hash rows from one session seed, so their
+// estimates are correlated, and the union bound is the tightest
+// aggregate valid under arbitrary correlation.
 func approxBand(subs []SubResult) (approx bool, eps, delta float64) {
-	okProb := 1.0
 	seen := make(map[int]bool)
 	for i := range subs {
 		s := &subs[i]
@@ -526,10 +550,10 @@ func approxBand(subs []SubResult) (approx bool, eps, delta float64) {
 		if s.Epsilon > eps {
 			eps = s.Epsilon
 		}
-		okProb *= 1 - s.Delta
+		delta += s.Delta
 	}
-	if approx {
-		delta = 1 - okProb
+	if delta > 1 {
+		delta = 1
 	}
 	return approx, eps, delta
 }
@@ -605,6 +629,12 @@ func runPlan(ctx context.Context, p *plan.Plan, be engine.Backend, opt Options, 
 		if ap, eps, delta := approxBand(mo.Subs); ap {
 			res.Approx, res.Epsilon, res.Delta = true, eps, delta
 			res.Confidence = 1 - delta
+			for j := range mo.Subs {
+				if mo.Subs[j].BestEffort {
+					res.BestEffort = true
+					break
+				}
+			}
 		}
 		sr.Results[i] = res
 		sr.TotalStats.Add(mo.Stats)

@@ -2,10 +2,11 @@ package counter
 
 import (
 	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"math/big"
-	"math/rand"
 	"sort"
 
 	"vacsem/internal/cnf"
@@ -25,24 +26,53 @@ import (
 // sampled once and the round uses its first m rows — so the cell count
 // is monotone nonincreasing in m and the search for the right cell
 // granularity can proceed by binary search.
-
+//
+// Three scaling mechanisms sit on top of the base scheme:
+//
+//  1. Sparse hash rows. Instead of including every sampling variable
+//     with probability 1/2, row i draws each variable with a density
+//     d_i scheduled by the row's position: early rows (few cells, the
+//     whole space) stay dense, later rows — the ones a large count
+//     actually activates — decay toward a (log2 n + 4)/n floor. Sparse
+//     rows keep Gauss–Jordan and watched-XOR propagation cheap and,
+//     crucially, stop the hash from fusing the residual formula into
+//     one giant component, so component decomposition and caching keep
+//     working as m grows (the sparse-hash refinements of the ApproxMC
+//     line are the template).
+//  2. Independent-support minimization (support.go): the sampling set
+//     is shrunk below the primary inputs before any probe runs, so the
+//     hash width — and with it every probe — gets cheaper.
+//  3. Budgeted probe schedules: hash rows are a pure function of
+//     (seed, round, row, support rank), so probe outcomes are
+//     content-addressable and a shared ProbeCache reuses them across
+//     rounds and across structurally identical tasks; rounds stop as
+//     soon as the median is pinned; and a deadline mid-descent returns
+//     a best-effort estimate over the completed rounds with an honestly
+//     widened δ instead of a timeout.
 var (
-	mApproxRounds = obs.Default.Counter("counter.approx_rounds")
-	mApproxProbes = obs.Default.Counter("counter.approx_probes")
+	mApproxRounds  = obs.Default.Counter("counter.approx_rounds")
+	mApproxProbes  = obs.Default.Counter("counter.approx_probes")
+	hRowDensity    = obs.Default.Histogram("approx.hash_row_density", []float64{0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5})
+	hSupportBefore = obs.Default.Histogram("approx.support_before", nil)
+	hSupportAfter  = obs.Default.Histogram("approx.support_after", nil)
 )
 
 // ApproxConfig tunes ApproxCount. The zero value uses the ApproxMC
-// defaults ε=0.8, δ=0.2 over all formula variables.
+// defaults ε=0.8, δ=0.2 over all formula variables with the sparse
+// density schedule and support minimization enabled.
 type ApproxConfig struct {
 	// Epsilon is the multiplicative tolerance (0 means 0.8).
 	Epsilon float64
 	// Delta is the failure probability (0 means 0.2).
 	Delta float64
 	// Seed makes the XOR sampling deterministic; runs with the same
-	// seed, formula, and parameters return the same estimate.
+	// seed, formula, and parameters return the same estimate. Rows are a
+	// pure function of (Seed, round, row index, support rank), so two
+	// calls on content-identical formulas with one seed draw identical
+	// rows — the property the probe cache builds on.
 	Seed int64
 	// Rounds overrides the δ-derived round count when positive (tests
-	// use 1-3 rounds to stay fast; the guarantee then no longer follows
+	// use 1-5 rounds to stay fast; the guarantee then no longer follows
 	// from Delta).
 	Rounds int
 	// Sampling is the hash support: the variables the random parity
@@ -51,6 +81,25 @@ type ApproxConfig struct {
 	// set), e.g. the encoded primary inputs of a Tseitin formula. Nil
 	// means all variables, which is always sound.
 	Sampling []int32
+	// HashDensity fixes the probability with which a hash row includes
+	// each sampling variable. 0 means the automatic sparse schedule
+	// (dense first rows decaying to a (log2 n + 4)/n floor); 0.5 is the
+	// classical dense family. Values are clamped to (0, 0.5].
+	HashDensity float64
+	// NoSupportMin skips independent-support minimization (ablation, or
+	// callers that already minimized).
+	NoSupportMin bool
+	// Bisect restores the pre-scaling boundary search: a fresh bisection
+	// over [0, n] every round instead of the walk from the previous
+	// round's boundary. Ablation only — the bisection probes low-m cells
+	// holding a large fraction of all models, which is exactly the cost
+	// the walk exists to avoid; estimates are identical either way.
+	Bisect bool
+	// Probes, when non-nil, memoizes probe outcomes across ApproxCount
+	// calls (the engine shares one per session, so structurally
+	// identical tasks solve each probe once). Estimates are identical
+	// with or without it.
+	Probes *ProbeCache
 	// Solver configures the exact engine used for cell counting. A nil
 	// Solver.Cache is replaced by one private cache shared across all
 	// probes of the call (content keys make that sound).
@@ -61,15 +110,27 @@ type ApproxConfig struct {
 type ApproxResult struct {
 	// Count estimates the number of models.
 	Count *big.Int
-	// Epsilon and Delta echo the effective tolerance parameters.
+	// Epsilon and Delta echo the effective tolerance parameters. When
+	// BestEffort is set, Delta is the widened failure probability over
+	// the rounds that completed before the deadline.
 	Epsilon, Delta float64
 	// Exact reports that the formula (or some hash cell at zero rows)
 	// was counted exactly: the estimate carries no hashing error.
 	Exact bool
+	// BestEffort reports that the context deadline expired mid-run and
+	// Count is the median over the completed rounds only: the (1+ε)
+	// band is unchanged but holds with the widened Delta.
+	BestEffort bool
 	// Rounds is the number of estimation rounds performed.
 	Rounds int
 	// Pivot is the cell-size threshold ⌈9.84(1+ε/(1+ε))(1+1/ε)²⌉.
 	Pivot int64
+	// SupportBefore and SupportAfter are the sampling-set sizes around
+	// independent-support minimization (equal when it was skipped or
+	// found nothing to drop).
+	SupportBefore, SupportAfter int
+	// HashDensity is the mean row density of the hash family used.
+	HashDensity float64
 	// Stats aggregates the exact-engine work across all probes.
 	Stats Stats
 }
@@ -95,26 +156,139 @@ func ApproxRounds(delta float64) int {
 	}
 }
 
-// binomialTail returns P[Bin(n, p) >= k].
+// binomialTail returns P[Bin(n, p) >= k]. The sum is anchored at its
+// largest term in log space — every later term accumulates as a ratio
+// to it — so tiny tails come out exact instead of saturating on
+// per-term exp underflow (δ ≤ 1e-6 schedules need tails down to the
+// underflow boundary as t grows).
 func binomialTail(n int, p float64, k int) float64 {
-	// Walk the pmf from term k upward; n stays small (hundreds).
-	logC := 0.0
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	lp, lq := math.Log(p), math.Log1p(-p)
+	logC := 0.0 // log C(n, k)
 	for i := 0; i < k; i++ {
 		logC += math.Log(float64(n-i)) - math.Log(float64(i+1))
 	}
-	tail := 0.0
-	lp, lq := math.Log(p), math.Log(1-p)
+	logAnchor := logC + float64(k)*lp + float64(n-k)*lq
+	// Accumulate terms relative to the anchor; for the median schedules
+	// (k above the mode) the anchor is the maximum and every ratio < 1,
+	// so the relative sum neither over- nor underflows.
+	sum, rel := 0.0, 1.0
 	for i := k; i <= n; i++ {
-		tail += math.Exp(logC + float64(i)*lp + float64(n-i)*lq)
-		logC += math.Log(float64(n-i)) - math.Log(float64(i+1))
+		sum += rel
+		rel *= float64(n-i) / float64(i+1) * (p / (1 - p))
 	}
-	return tail
+	return math.Exp(logAnchor + math.Log(sum))
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rowHash draws a uniform 64-bit value for one (seed, round, row, slot)
+// coordinate. It is a pure function of its arguments — no sequential
+// generator state — so hash rows are identical wherever the same
+// coordinates recur: across rounds, worker schedules, and content-
+// identical tasks of one session.
+func rowHash(seed uint64, round, row, slot int) uint64 {
+	z := mix64(seed ^ 0xa0761d6478bd642f)
+	z = mix64(z ^ (uint64(round)+1)*0x9e3779b97f4a7c15)
+	z = mix64(z ^ (uint64(row)+1)*0xd1342543de82ef95)
+	return mix64(z ^ (uint64(slot)+1)*0x2545f4914f6cdd1d)
+}
+
+// rowDensity returns the variable-inclusion probability of hash row i
+// over an n-variable support. fixed > 0 pins every row to that density
+// (0.5 = the classical dense family); otherwise the automatic schedule
+// starts dense — the first rows cut the whole space and need full
+// mixing — and decays geometrically to a floor that keeps the expected
+// row width at log2(n)+4 variables, the sparse-hash regime in which
+// per-cell concentration still holds with the pivot's slack.
+func rowDensity(fixed float64, i, n int) float64 {
+	if fixed > 0 {
+		return math.Min(fixed, 0.5)
+	}
+	if n <= 1 {
+		return 0.5
+	}
+	floor := (math.Log2(float64(n)) + 4) / float64(n)
+	if floor >= 0.5 {
+		return 0.5
+	}
+	d := 0.5 * math.Pow(0.9, float64(i))
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// sampleRows draws the n hash rows of one round over the support,
+// returning the rows and their mean density. Row i includes the support
+// variable of rank r iff rowHash(seed, round, i, r) clears the density
+// threshold; a row that comes out empty (possible at floor density)
+// deterministically keeps one variable so it still halves the space
+// instead of poisoning every later prefix with a 0=1 contradiction.
+func sampleRows(seed uint64, round int, support []int32, fixed float64) ([]cnf.XorClause, float64) {
+	n := len(support)
+	rows := make([]cnf.XorClause, n)
+	densitySum := 0.0
+	for i := range rows {
+		d := rowDensity(fixed, i, n)
+		densitySum += d
+		hRowDensity.Observe(d)
+		threshold := uint64(d * math.MaxUint64)
+		var vars []int32
+		for r, v := range support {
+			if rowHash(seed, round, i, r) <= threshold {
+				vars = append(vars, v)
+			}
+		}
+		if len(vars) == 0 {
+			vars = append(vars, support[rowHash(seed, round, i, n)%uint64(n)])
+		}
+		rows[i] = cnf.XorClause{Vars: vars, Rhs: rowHash(seed, round, i, n+1)&1 == 1}
+	}
+	return rows, densitySum / float64(n)
+}
+
+// probeKey serializes a formula key plus a hash-row prefix into the
+// probe cache key: the formula's content and the exact rows pin the
+// streamlined formula, so equal keys mean equal cell counts.
+func probeKey(fkey string, rows []cnf.XorClause) string {
+	sz := len(fkey) + 8
+	for _, row := range rows {
+		sz += 4 * (len(row.Vars) + 2)
+	}
+	buf := make([]byte, 0, sz)
+	buf = append(buf, fkey...)
+	for _, row := range rows {
+		buf = binary.AppendVarint(buf, int64(len(row.Vars)))
+		for _, v := range row.Vars {
+			buf = binary.AppendVarint(buf, int64(v))
+		}
+		if row.Rhs {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return string(buf)
 }
 
 // ApproxCount estimates the model count of f within multiplicative
 // tolerance (1+ε) with confidence 1-δ. Formulas whose count does not
 // exceed the pivot are counted exactly (Exact is set and the guarantee
-// is vacuous). The context cancels the underlying exact counts.
+// is vacuous). The context cancels the underlying exact counts; if its
+// deadline expires after at least one full round, the median over the
+// completed rounds is returned as a BestEffort result with a widened δ
+// instead of an error.
 func ApproxCount(ctx context.Context, f *cnf.Formula, cfg ApproxConfig) (*ApproxResult, error) {
 	eps := cfg.Epsilon
 	if eps == 0 {
@@ -126,6 +300,9 @@ func ApproxCount(ctx context.Context, f *cnf.Formula, cfg ApproxConfig) (*Approx
 	}
 	if eps <= 0 || delta <= 0 || delta >= 1 {
 		return nil, fmt.Errorf("counter: approx needs epsilon > 0 and 0 < delta < 1, got %g/%g", eps, delta)
+	}
+	if cfg.HashDensity < 0 || cfg.HashDensity > 0.5 {
+		return nil, fmt.Errorf("counter: approx hash density must be in [0, 0.5] (0 = auto), got %g", cfg.HashDensity)
 	}
 	rounds := cfg.Rounds
 	if rounds <= 0 {
@@ -146,6 +323,16 @@ func ApproxCount(ctx context.Context, f *cnf.Formula, cfg ApproxConfig) (*Approx
 		sampling = append([]int32(nil), sampling...)
 		sort.Slice(sampling, func(i, j int) bool { return sampling[i] < sampling[j] })
 	}
+	res.SupportBefore = len(sampling)
+	if !cfg.NoSupportMin {
+		sampling = MinimizeSupport(f, sampling)
+	}
+	res.SupportAfter = len(sampling)
+	res.Stats.SupportBefore = uint64(res.SupportBefore)
+	res.Stats.SupportAfter = uint64(res.SupportAfter)
+	hSupportBefore.Observe(float64(res.SupportBefore))
+	hSupportAfter.Observe(float64(res.SupportAfter))
+
 	solverCfg := cfg.Solver
 	if solverCfg.Cache == nil && !solverCfg.DisableCache {
 		// One content-keyed cache shared by every probe: residual
@@ -157,12 +344,26 @@ func ApproxCount(ctx context.Context, f *cnf.Formula, cfg ApproxConfig) (*Approx
 		solverCfg.Cache = NewCache(maxEntries, 0)
 	}
 	bigPivot := big.NewInt(pivot)
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	var fkey string
+	if cfg.Probes != nil {
+		fkey = f.ContentKey()
+	}
 
 	// count returns the exact model count of f streamlined with the
-	// given hash rows, accumulating engine stats into the result.
+	// given hash rows, accumulating engine stats into the result. When a
+	// probe cache is attached, a content-identical probe solved earlier
+	// (by this call or any sibling task sharing the cache) is reused.
 	count := func(rows []cnf.XorClause) (*big.Int, error) {
 		mApproxProbes.Inc()
+		res.Stats.ApproxProbes++
+		var pkey string
+		if cfg.Probes != nil {
+			pkey = probeKey(fkey, rows)
+			if c, ok := cfg.Probes.Lookup(pkey); ok {
+				res.Stats.ApproxProbesReused++
+				return c, nil
+			}
+		}
 		g := *f
 		g.Xors = make([]cnf.XorClause, 0, len(f.Xors)+len(rows))
 		g.Xors = append(g.Xors, f.Xors...)
@@ -175,6 +376,9 @@ func ApproxCount(ctx context.Context, f *cnf.Formula, cfg ApproxConfig) (*Approx
 		s := New(&g, solverCfg)
 		c, err := s.CountCtx(ctx)
 		res.Stats.Add(s.Stats())
+		if err == nil && cfg.Probes != nil {
+			cfg.Probes.Store(pkey, c)
+		}
 		return c, err
 	}
 
@@ -189,23 +393,46 @@ func ApproxCount(ctx context.Context, f *cnf.Formula, cfg ApproxConfig) (*Approx
 	}
 
 	var estimates []*big.Int
-	prevM := -1 // boundary of the previous round, -1 = none yet
+	// bestEffort shapes the deadline-expiry descent: with at least one
+	// completed round the median over them is still a valid estimate —
+	// the (1+ε) band is per round — only the confidence drops to the
+	// exact binomial tail over the rounds that ran.
+	bestEffort := func(err error) (*ApproxResult, error) {
+		if !errors.Is(err, context.DeadlineExceeded) || len(estimates) == 0 {
+			return nil, err
+		}
+		t := len(estimates)
+		widened := binomialTail(t, 0.36, (t+1)/2)
+		if widened > res.Delta {
+			res.Delta = widened
+		}
+		sort.Slice(estimates, func(i, j int) bool { return estimates[i].Cmp(estimates[j]) < 0 })
+		res.Count = estimates[t/2]
+		res.Rounds = t
+		res.BestEffort = true
+		return res, nil
+	}
+	seed := mix64(uint64(cfg.Seed))
+	tally := make(map[string]int) // estimate value -> multiplicity, for the median pin
+	prevM := -1                   // boundary of the previous round, -1 = none yet
 	for r := 0; r < rounds; r++ {
 		mApproxRounds.Inc()
 		// Sample the round's n hash rows once (prefix property).
-		rows := make([]cnf.XorClause, n)
-		for i := range rows {
-			var vars []int32
-			for _, v := range sampling {
-				if rng.Intn(2) == 1 {
-					vars = append(vars, v)
-				}
-			}
-			rows[i] = cnf.XorClause{Vars: vars, Rhs: rng.Intn(2) == 1}
-		}
+		rows, meanDensity := sampleRows(seed, r, sampling, cfg.HashDensity)
+		res.HashDensity = meanDensity
 		// Smallest m with cellCount(m) <= pivot; counts are monotone
-		// nonincreasing in m, so binary search is valid. Probe results
-		// are memoized — the boundary probe is reused for the estimate.
+		// nonincreasing in m, so the boundary is well defined and any
+		// search path lands on the same m — what the path chooses is
+		// which cells it has to count on the way. This walk only ever
+		// probes cells adjacent to the boundary (at most a couple of
+		// pivots big, so each exact count is cheap): it starts from the
+		// previous round's boundary — which rarely moves — or from
+		// m = n on the first round, where the formula is maximally
+		// constrained, and steps one row at a time. A bisection over
+		// [0, n] would instead probe low-m cells holding a large
+		// fraction of all models; on wide supports a single such probe
+		// costs close to a full exact count, which is exactly the work
+		// this backend exists to avoid.
 		probes := make(map[int]*big.Int)
 		cellAt := func(m int) (*big.Int, error) {
 			if c, ok := probes[m]; ok {
@@ -218,64 +445,87 @@ func ApproxCount(ctx context.Context, f *cnf.Formula, cfg ApproxConfig) (*Approx
 			probes[m] = c
 			return c, nil
 		}
-		lo, hi := 0, n
-		// The boundary rarely moves between rounds: probe the previous
-		// round's m and its neighbour first, which usually settles the
-		// search in two cheap small-cell probes and — crucially — skips
-		// the expensive low-m probes (few hash rows, huge cells) that a
-		// fresh bisection would revisit every round.
-		if prevM > 0 && prevM <= n {
-			c, err := cellAt(prevM)
-			if err != nil {
-				return nil, err
-			}
-			if c.Cmp(bigPivot) <= 0 {
-				hi = prevM
-				if c, err = cellAt(prevM - 1); err != nil {
-					return nil, err
+		var m int
+		var c *big.Int
+		if cfg.Bisect {
+			// Ablation: the pre-scaling search — bisection over [0, n],
+			// seeded with the previous round's boundary when present.
+			lo, hi := 0, n
+			if prevM > 0 && prevM <= n {
+				c, err := cellAt(prevM)
+				if err != nil {
+					return bestEffort(err)
 				}
-				if c.Cmp(bigPivot) > 0 {
-					lo = prevM
+				if c.Cmp(bigPivot) <= 0 {
+					hi = prevM
 				} else {
-					hi = prevM - 1
-				}
-			} else {
-				lo = prevM + 1
-				if lo <= n {
-					if c, err = cellAt(lo); err != nil {
-						return nil, err
-					}
-					if c.Cmp(bigPivot) <= 0 {
-						hi = lo
-					}
+					lo = prevM + 1
 				}
 			}
-		}
-		for lo < hi {
-			mid := (lo + hi) / 2
-			c, err := cellAt(mid)
-			if err != nil {
-				return nil, err
+			for lo < hi {
+				mid := (lo + hi) / 2
+				cm, err := cellAt(mid)
+				if err != nil {
+					return bestEffort(err)
+				}
+				if cm.Cmp(bigPivot) <= 0 {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
 			}
-			if c.Cmp(bigPivot) <= 0 {
-				hi = mid
-			} else {
-				lo = mid + 1
+			m = lo
+			var err error
+			if c, err = cellAt(m); err != nil {
+				return bestEffort(err)
+			}
+		} else {
+			m = prevM
+			if m < 0 || m > n {
+				m = n
+			}
+			var err error
+			if c, err = cellAt(m); err != nil {
+				return bestEffort(err)
+			}
+			for c.Cmp(bigPivot) > 0 && m < n {
+				m++
+				if c, err = cellAt(m); err != nil {
+					return bestEffort(err)
+				}
+			}
+			for m > 0 {
+				below, err := cellAt(m - 1)
+				if err != nil {
+					return bestEffort(err)
+				}
+				if below.Cmp(bigPivot) > 0 {
+					break
+				}
+				m, c = m-1, below
 			}
 		}
-		m := lo
 		prevM = m
-		c, err := cellAt(m)
-		if err != nil {
-			return nil, err
-		}
 		if m == 0 {
 			// The whole formula fits under the pivot: exact, no median
 			// needed.
 			res.Count, res.Exact, res.Rounds = c, true, r+1
 			return res, nil
 		}
-		estimates = append(estimates, new(big.Int).Lsh(c, uint(m)))
+		est := new(big.Int).Lsh(c, uint(m))
+		estimates = append(estimates, est)
+		// Median pin: once one value holds a majority of ALL scheduled
+		// rounds, the median over the full schedule is that value no
+		// matter how the remaining rounds would land — stop probing.
+		// The early exit is value-identical to running every round, so
+		// Delta is untouched.
+		key := est.String()
+		tally[key]++
+		if tally[key] >= (rounds+1)/2 && r+1 < rounds {
+			res.Count = est
+			res.Rounds = r + 1
+			return res, nil
+		}
 	}
 	sort.Slice(estimates, func(i, j int) bool { return estimates[i].Cmp(estimates[j]) < 0 })
 	res.Count = estimates[len(estimates)/2]

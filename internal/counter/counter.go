@@ -136,6 +136,20 @@ type Stats struct {
 	// parity subsystem counted in closed form, or derived unit rows
 	// asserted before branching.
 	GaussReductions uint64
+	// ApproxProbes counts the hash-cell probes the approx backend
+	// solved with the exact engine (including reused ones).
+	ApproxProbes uint64
+	// ApproxProbesReused counts probes answered by the shared probe
+	// cache instead of a fresh exact count — within a task (rounds
+	// re-probing the same boundary) or across structurally identical
+	// tasks of a session.
+	ApproxProbesReused uint64
+	// SupportBefore and SupportAfter sum the approx sampling-set sizes
+	// before and after independent-support minimization over the call's
+	// tasks (equal when minimization found nothing to drop or was
+	// disabled).
+	SupportBefore uint64
+	SupportAfter  uint64
 }
 
 // Add accumulates other into s field by field. It is the aggregation
@@ -158,6 +172,10 @@ func (s *Stats) Add(other Stats) {
 	s.Learned += other.Learned
 	s.XorPropagations += other.XorPropagations
 	s.GaussReductions += other.GaussReductions
+	s.ApproxProbes += other.ApproxProbes
+	s.ApproxProbesReused += other.ApproxProbesReused
+	s.SupportBefore += other.SupportBefore
+	s.SupportAfter += other.SupportAfter
 }
 
 // Diff returns the field-wise difference s - prev. It is the inverse of
@@ -165,20 +183,24 @@ func (s *Stats) Add(other Stats) {
 // periodic "stats" snapshot-delta events.
 func (s Stats) Diff(prev Stats) Stats {
 	return Stats{
-		Decisions:       s.Decisions - prev.Decisions,
-		Propagations:    s.Propagations - prev.Propagations,
-		Components:      s.Components - prev.Components,
-		CacheHits:       s.CacheHits - prev.CacheHits,
-		CacheStores:     s.CacheStores - prev.CacheStores,
-		CacheCrossHits:  s.CacheCrossHits - prev.CacheCrossHits,
-		CacheEvictions:  s.CacheEvictions - prev.CacheEvictions,
-		SimCalls:        s.SimCalls - prev.SimCalls,
-		SimRejected:     s.SimRejected - prev.SimRejected,
-		SimPatterns:     s.SimPatterns - prev.SimPatterns,
-		FailedLiterals:  s.FailedLiterals - prev.FailedLiterals,
-		Learned:         s.Learned - prev.Learned,
-		XorPropagations: s.XorPropagations - prev.XorPropagations,
-		GaussReductions: s.GaussReductions - prev.GaussReductions,
+		Decisions:          s.Decisions - prev.Decisions,
+		Propagations:       s.Propagations - prev.Propagations,
+		Components:         s.Components - prev.Components,
+		CacheHits:          s.CacheHits - prev.CacheHits,
+		CacheStores:        s.CacheStores - prev.CacheStores,
+		CacheCrossHits:     s.CacheCrossHits - prev.CacheCrossHits,
+		CacheEvictions:     s.CacheEvictions - prev.CacheEvictions,
+		SimCalls:           s.SimCalls - prev.SimCalls,
+		SimRejected:        s.SimRejected - prev.SimRejected,
+		SimPatterns:        s.SimPatterns - prev.SimPatterns,
+		FailedLiterals:     s.FailedLiterals - prev.FailedLiterals,
+		Learned:            s.Learned - prev.Learned,
+		XorPropagations:    s.XorPropagations - prev.XorPropagations,
+		GaussReductions:    s.GaussReductions - prev.GaussReductions,
+		ApproxProbes:       s.ApproxProbes - prev.ApproxProbes,
+		ApproxProbesReused: s.ApproxProbesReused - prev.ApproxProbesReused,
+		SupportBefore:      s.SupportBefore - prev.SupportBefore,
+		SupportAfter:       s.SupportAfter - prev.SupportAfter,
 	}
 }
 

@@ -1,0 +1,89 @@
+package counter
+
+import (
+	"math/big"
+	"sync"
+
+	"vacsem/internal/obs"
+)
+
+var (
+	mProbeHits   = obs.Default.Counter("approx.probes_reused")
+	mProbeStores = obs.Default.Counter("approx.probe_stores")
+)
+
+// ProbeCache memoizes approx probe outcomes across ApproxCount calls:
+// the exact cell count of one formula streamlined with one concrete
+// hash-row prefix, keyed by the formula's content key plus the rows'
+// serialized content. Because the approx backend derives its hash rows
+// from the session seed and the row's position — never from the task
+// index or worker identity — structurally identical sub-miters (same
+// encoded clause list) draw identical rows, so their probes collide
+// here and the cell count is solved once per session instead of once
+// per task. Sharing never changes an estimate: a hit returns exactly
+// the count the miss would have computed.
+//
+// The cache is bounded: beyond maxEntries further stores are dropped
+// (probe working sets are small — tens of probes per task — so the
+// bound is a safety valve, not an eviction policy).
+type ProbeCache struct {
+	mu         sync.Mutex
+	m          map[string]*big.Int
+	maxEntries int
+	hits       uint64
+}
+
+// defaultMaxProbeEntries bounds a ProbeCache when the caller does not.
+// Each entry is one boundary-search probe; even a 64-round session over
+// hundreds of tasks stays far below this.
+const defaultMaxProbeEntries = 1 << 20
+
+// NewProbeCache returns an empty probe cache bounded to maxEntries
+// (0 = default).
+func NewProbeCache(maxEntries int) *ProbeCache {
+	if maxEntries <= 0 {
+		maxEntries = defaultMaxProbeEntries
+	}
+	return &ProbeCache{m: make(map[string]*big.Int), maxEntries: maxEntries}
+}
+
+// Lookup returns the memoized cell count for key. The returned count is
+// shared and must not be mutated.
+func (c *ProbeCache) Lookup(key string) (*big.Int, bool) {
+	c.mu.Lock()
+	cnt, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	c.mu.Unlock()
+	if ok {
+		mProbeHits.Inc()
+	}
+	return cnt, ok
+}
+
+// Store memoizes key -> cnt. cnt must not be mutated after the call. A
+// racing store of the same key keeps the first entry — both hold the
+// same exact count, because the key pins the formula and the rows.
+func (c *ProbeCache) Store(key string, cnt *big.Int) {
+	c.mu.Lock()
+	if _, dup := c.m[key]; !dup && len(c.m) < c.maxEntries {
+		c.m[key] = cnt
+	}
+	c.mu.Unlock()
+	mProbeStores.Inc()
+}
+
+// Len returns the number of memoized probes.
+func (c *ProbeCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Hits returns the number of lookups that found an entry.
+func (c *ProbeCache) Hits() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}

@@ -33,8 +33,8 @@ var (
 // Tasks are independent #SAT problems, so the backend solves them on a
 // bounded worker pool (Config.Workers). Each worker builds its own
 // Solver, so counts are bit-identical to the sequential run (the approx
-// backend derives each task's random stream from Config.Seed and the
-// task index, so its estimates are equally order-independent); results
+// backend derives its hash rows purely from Config.Seed and each row's
+// position, so its estimates are equally order-independent); results
 // are collected by task index, making the result slice deterministic
 // regardless of completion order.
 type countingBackend struct {
@@ -57,6 +57,16 @@ func (b *countingBackend) Execute(ctx context.Context, req *Request) ([]TaskResu
 	var cache *counter.Cache
 	if req.Config.SharedCache && !req.Config.DisableCache {
 		cache = counter.NewCache(0, 0)
+	}
+	// One shared probe cache for the approx backend: hash rows depend
+	// only on the session seed and the row position, so structurally
+	// identical sub-miters (same encoded CNF content) draw identical
+	// rows and their boundary probes collide here — each cell is counted
+	// once per session instead of once per task. Sharing never changes
+	// an estimate.
+	var probes *counter.ProbeCache
+	if b.approx {
+		probes = counter.NewProbeCache(0)
 	}
 
 	workers := req.Config.Workers
@@ -88,12 +98,13 @@ func (b *countingBackend) Execute(ctx context.Context, req *Request) ([]TaskResu
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
-		cursor   atomic.Int64
-		firstErr error
-		errOnce  sync.Once
-		progMu   sync.Mutex
-		doneN    int // completed tasks, guarded by progMu
-		wg       sync.WaitGroup
+		cursor    atomic.Int64
+		completed atomic.Int64
+		firstErr  error
+		errOnce   sync.Once
+		progMu    sync.Mutex
+		doneN     int // completed tasks, guarded by progMu
+		wg        sync.WaitGroup
 	)
 	cursor.Store(-1)
 	solve := func() {
@@ -103,13 +114,14 @@ func (b *countingBackend) Execute(ctx context.Context, req *Request) ([]TaskResu
 			if j >= len(req.Tasks) || gctx.Err() != nil {
 				return
 			}
-			tres, err := b.solveTask(gctx, req, j, cache)
+			tres, err := b.solveTask(gctx, req, j, cache, probes)
 			results[j] = tres
 			if err != nil {
 				errOnce.Do(func() { firstErr = err })
 				cancel()
 				return
 			}
+			completed.Add(1)
 			if req.Progress != nil {
 				progMu.Lock()
 				doneN++
@@ -134,9 +146,16 @@ func (b *countingBackend) Execute(ctx context.Context, req *Request) ([]TaskResu
 		return nil, firstErr
 	}
 	// A worker can also stop on the parent context without recording an
-	// error (it observed gctx.Err() between tasks).
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	// error (it observed gctx.Err() between tasks) — but only a context
+	// that actually left tasks unsolved may surface here. The approx
+	// backend completes a task *because* the deadline expired (a
+	// best-effort median over the rounds that ran), so a full result set
+	// must be returned even when ctx has since expired: checking
+	// ctx.Err() unconditionally would discard every best-effort result.
+	if int(completed.Load()) != len(req.Tasks) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }
@@ -144,7 +163,7 @@ func (b *countingBackend) Execute(ctx context.Context, req *Request) ([]TaskResu
 // solveTask runs Phase 2 on one prepared single-output sub-miter. The
 // sub_miter trace span and the per-task metrics cover every exit path
 // (trivial, encode error, counter error, success).
-func (b *countingBackend) solveTask(ctx context.Context, req *Request, j int, cache *counter.Cache) (res TaskResult, err error) {
+func (b *countingBackend) solveTask(ctx context.Context, req *Request, j int, cache *counter.Cache, probes *counter.ProbeCache) (res TaskResult, err error) {
 	t := &req.Tasks[j]
 	start := time.Now()
 	res = TaskResult{Count: new(big.Int)}
@@ -236,7 +255,7 @@ func (b *countingBackend) solveTask(ctx context.Context, req *Request, j int, ca
 		}
 		var cnt *big.Int
 		if b.approx {
-			cnt, err = b.approxTask(ctx, req, j, f, solverCfg, &res)
+			cnt, err = b.approxTask(ctx, req, f, solverCfg, probes, &res)
 		} else {
 			s := counter.New(f, solverCfg)
 			cnt, err = s.CountCtx(ctx)
@@ -261,10 +280,14 @@ func (b *countingBackend) solveTask(ctx context.Context, req *Request, j int, ca
 // hash support is the sub-miter's encoded primary inputs — a Tseitin
 // formula's models are determined by its input projection, so the input
 // set is an independent support and hashing over it is sound (and far
-// cheaper than hashing over all gate variables). The task's random
-// stream is derived from the session seed and the task index, never
-// from worker identity or completion order.
-func (b *countingBackend) approxTask(ctx context.Context, req *Request, j int, f *cnf.Formula, solverCfg counter.Config, res *TaskResult) (*big.Int, error) {
+// cheaper than hashing over all gate variables). Every task draws its
+// rows from the session seed alone, never from the task index or worker
+// identity: content-identical tasks therefore draw identical rows and
+// share probe outcomes through the session probe cache. (Estimates of
+// sibling tasks become correlated; the core layer's confidence
+// aggregation uses the union bound, which is valid under arbitrary
+// correlation.)
+func (b *countingBackend) approxTask(ctx context.Context, req *Request, f *cnf.Formula, solverCfg counter.Config, probes *counter.ProbeCache, res *TaskResult) (*big.Int, error) {
 	var inputs []int32
 	for _, id := range f.Circ.Inputs {
 		if v := f.VarOfNode[id]; v != 0 {
@@ -272,30 +295,28 @@ func (b *countingBackend) approxTask(ctx context.Context, req *Request, j int, f
 		}
 	}
 	ar, err := counter.ApproxCount(ctx, f, counter.ApproxConfig{
-		Epsilon:  req.Config.Epsilon,
-		Delta:    req.Config.Delta,
-		Seed:     taskSeed(req.Config.Seed, j),
-		Sampling: inputs,
-		Solver:   solverCfg,
+		Epsilon:      req.Config.Epsilon,
+		Delta:        req.Config.Delta,
+		Seed:         req.Config.Seed,
+		Sampling:     inputs,
+		HashDensity:  req.Config.HashDensity,
+		NoSupportMin: req.Config.NoSupportMin,
+		Bisect:       req.Config.ApproxBisect,
+		Probes:       probes,
+		Solver:       solverCfg,
 	})
 	if err != nil {
 		return nil, err
 	}
 	res.Stats = ar.Stats
+	res.SupportBefore = ar.SupportBefore
+	res.SupportAfter = ar.SupportAfter
+	res.HashDensity = ar.HashDensity
 	if !ar.Exact {
 		res.Approx = true
 		res.Epsilon = ar.Epsilon
 		res.Delta = ar.Delta
+		res.BestEffort = ar.BestEffort
 	}
 	return ar.Count, nil
-}
-
-// taskSeed mixes the session seed with a task index (splitmix64-style
-// golden-ratio stepping), so sibling tasks draw independent-looking
-// streams from one user-visible seed.
-func taskSeed(seed int64, j int) int64 {
-	z := uint64(seed) + uint64(j+1)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
 }

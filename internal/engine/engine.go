@@ -85,10 +85,24 @@ type Config struct {
 	// Delta is the per-task failure probability of the approx backend.
 	// 0 means the default of 0.2. Exact backends ignore it.
 	Delta float64
-	// Seed makes the approx backend's XOR sampling deterministic. Each
-	// task derives its own stream from Seed and its task index, so
-	// results are reproducible at any worker count.
+	// Seed makes the approx backend's XOR sampling deterministic. Hash
+	// rows are a pure function of Seed and the row's position — never of
+	// the task index or worker identity — so results are reproducible at
+	// any worker count and structurally identical tasks draw identical
+	// rows (the property the session probe cache exploits).
 	Seed int64
+	// HashDensity pins the approx backend's hash-row density: the
+	// probability each sampling variable joins a parity row. 0 means the
+	// automatic sparse schedule; 0.5 is the classical dense family
+	// (ablation baseline).
+	HashDensity float64
+	// NoSupportMin disables the approx backend's independent-support
+	// minimization pass (ablation).
+	NoSupportMin bool
+	// ApproxBisect restores the approx backend's pre-scaling boundary
+	// bisection instead of the boundary walk (ablation; estimates are
+	// identical either way).
+	ApproxBisect bool
 }
 
 // CountTask is one single-output weighted-counting job of a session:
@@ -151,6 +165,16 @@ type TaskResult struct {
 	// so exactness is per task, not per backend.
 	Approx         bool
 	Epsilon, Delta float64
+	// BestEffort marks an approx count whose round schedule was cut
+	// short by the context deadline: the (1+Epsilon) band is unchanged
+	// but holds with the widened Delta reported above.
+	BestEffort bool
+	// SupportBefore and SupportAfter are the approx sampling-set sizes
+	// around independent-support minimization; HashDensity is the mean
+	// density of the hash rows actually drawn. All zero for exact
+	// backends and trivial tasks.
+	SupportBefore, SupportAfter int
+	HashDensity                 float64
 }
 
 // TaskEvent reports the completion of one task.

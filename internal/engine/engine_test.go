@@ -249,3 +249,41 @@ func TestCancelledContext(t *testing.T) {
 		}
 	}
 }
+
+// lateDeadlineCtx models a deadline that expires after the last task
+// completes but before the pool's post-wait context check: Err()
+// already reports expiry while Done() (inherited nil from Background)
+// never fired, so no solver ever aborted. The approx backend produces
+// exactly this shape for real — a best-effort task *completes because*
+// the deadline expired — so a full result set must survive an expired
+// context. An earlier version of the pool checked ctx.Err()
+// unconditionally after the workers drained and discarded every
+// best-effort result as a timeout.
+type lateDeadlineCtx struct{ context.Context }
+
+func (lateDeadlineCtx) Err() error { return context.DeadlineExceeded }
+
+func TestCompletedResultsSurviveLateDeadline(t *testing.T) {
+	_, req := medRequest(t, 6)
+	b, err := engine.Lookup("vacsem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := b.Execute(lateDeadlineCtx{context.Background()}, req)
+	if err != nil {
+		t.Fatalf("Execute discarded completed results on a late deadline: %v", err)
+	}
+	if len(results) != len(req.Tasks) {
+		t.Fatalf("%d results for %d tasks", len(results), len(req.Tasks))
+	}
+	want, err := b.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range results {
+		if results[j].Count.Cmp(want[j].Count) != 0 {
+			t.Errorf("task %d (%s) count = %v, want %v",
+				j, req.Tasks[j].Label, results[j].Count, want[j].Count)
+		}
+	}
+}

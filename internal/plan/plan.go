@@ -509,6 +509,14 @@ type SubResult struct {
 	// approximate no matter which bit reports it.
 	Approx         bool
 	Epsilon, Delta float64
+	// BestEffort marks an approx count whose round schedule was cut
+	// short by the deadline (Delta is the widened failure probability).
+	BestEffort bool
+	// SupportBefore and SupportAfter are the approx sampling-set sizes
+	// around independent-support minimization; HashDensity is the mean
+	// density of the hash rows drawn. Zero for exact backends.
+	SupportBefore, SupportAfter int
+	HashDensity                 float64
 }
 
 // MetricOutcome is one metric's assembled result.
@@ -599,17 +607,21 @@ func (p *Plan) Run(ctx context.Context, be engine.Backend, cfg engine.Config, pr
 		for k, ti := range m.TaskOf {
 			res := &results[ti]
 			sub := SubResult{
-				Output:      m.Outputs[k],
-				Count:       new(big.Int).Set(res.Count),
-				Weight:      new(big.Int).Set(m.Weights[k]),
-				NodesBefore: p.Tasks[ti].NodesBefore,
-				NodesAfter:  p.Tasks[ti].NodesAfter,
-				Trivial:     res.Trivial,
-				Shared:      !m.Owner[k],
-				Task:        ti,
-				Approx:      res.Approx,
-				Epsilon:     res.Epsilon,
-				Delta:       res.Delta,
+				Output:        m.Outputs[k],
+				Count:         new(big.Int).Set(res.Count),
+				Weight:        new(big.Int).Set(m.Weights[k]),
+				NodesBefore:   p.Tasks[ti].NodesBefore,
+				NodesAfter:    p.Tasks[ti].NodesAfter,
+				Trivial:       res.Trivial,
+				Shared:        !m.Owner[k],
+				Task:          ti,
+				Approx:        res.Approx,
+				Epsilon:       res.Epsilon,
+				Delta:         res.Delta,
+				BestEffort:    res.BestEffort,
+				SupportBefore: res.SupportBefore,
+				SupportAfter:  res.SupportAfter,
+				HashDensity:   res.HashDensity,
 			}
 			if m.Owner[k] {
 				sub.Runtime = res.Runtime

@@ -71,13 +71,35 @@ if ! echo "$apx_out" | grep -q "guarantee"; then
 fi
 
 echo "==> approx bench smoke (epsilon/delta land in the JSON report)"
-go run ./cmd/vacsem-bench -table approx -versions 1 -timelimit 5s \
-	-epsilon 0.8 -delta 0.3 -count-seed 1 -report "$apxdir/approx.json"
+apx_bench_out=$(go run ./cmd/vacsem-bench -table approx -versions 1 -timelimit 5s \
+	-epsilon 0.8 -delta 0.3 -count-seed 1 -report "$apxdir/approx.json")
+echo "$apx_bench_out"
 if ! grep -q '"approx": true' "$apxdir/approx.json" ||
 	! grep -q '"epsilon": 0.8' "$apxdir/approx.json"; then
 	echo "approx bench report is missing approx/epsilon fields"
 	exit 1
 fi
+
+echo "==> approx-scaling smoke (mult16/mult32 sparse vs pre-scaling ablation; soft gate)"
+# The scale rows ride along in -table approx above. At the smoke's tiny
+# time limit both arms usually time out (">5" in both columns, speedup
+# "-"), which only proves the path runs; when a speedup IS measured it
+# must not drop below 1x — the scaled backend losing outright to the
+# configuration it replaced. Soft gate: warn, don't fail (wall-clock
+# ratios are too noisy on shared runners for a hard gate).
+if ! echo "$apx_bench_out" | grep -q "^mult16 "; then
+	echo "approx-scaling table is missing its mult16 row"
+	exit 1
+fi
+scale_speedup=$(echo "$apx_bench_out" | awk '$1 == "mult16" { print $4 }')
+case "$scale_speedup" in
+0[.x]*)
+	echo "WARNING: approx scaling smoke: mult16 speedup $scale_speedup vs the pre-scaling ablation (soft gate, not failing the check)"
+	;;
+*)
+	echo "approx scaling smoke: mult16 speedup $scale_speedup"
+	;;
+esac
 
 echo "==> traced quickstart (JSONL trace parses and is self-consistent)"
 go run ./examples/traced_verify >/dev/null
