@@ -16,6 +16,13 @@
 // stay distinguishable). -epsilon, -delta and -count-seed tune it;
 // -backend restricts any table's method list to one backend.
 //
+// -table serve benchmarks the verification service's cross-request
+// store end to end: a real vacsem-serve instance is started on an
+// ephemeral port, each benchmark's {ER, MED} job is submitted cold and
+// then warm over HTTP, the server is restarted from its shutdown
+// snapshot, and the job runs once more — warm runs must return
+// bit-identical values while solving nothing.
+//
 // The default suite is scaled down so a complete run finishes in minutes
 // (the counter is pure Go); -full restores the paper's circuit sizes.
 //
@@ -70,7 +77,7 @@ func main() {
 }
 
 func run() int {
-	table := flag.String("table", "all", "table to regenerate: 3, 4, 5, 6, dd, multi, approx or all")
+	table := flag.String("table", "all", "table to regenerate: 3, 4, 5, 6, dd, multi, approx, serve or all")
 	backendName := flag.String("backend", "", "restrict table runs to one backend (vacsem, dpll, enum, bdd, approx)")
 	epsilon := flag.Float64("epsilon", 0, "approx backend: multiplicative tolerance ε (0 = default 0.8)")
 	delta := flag.Float64("delta", 0, "approx backend: failure probability δ (0 = default 0.2)")
@@ -138,6 +145,7 @@ func run() int {
 	rep := bench.NewReport(cfg, *table, time.Now())
 	cfg.OnRun = rep.Add
 	cfg.OnSession = rep.AddSession
+	cfg.OnServe = rep.AddServe
 
 	want := func(t string) bool { return *table == "all" || *table == t }
 	ran := false
@@ -173,6 +181,13 @@ func run() int {
 		bench.WriteMultiTable(os.Stdout, rows, cfg)
 		fmt.Println()
 	}
+	if *table == "serve" { // not part of -table all: it reruns the suite three times
+		ran = true
+		specs := bench.ServeSpecs(cfg)
+		recs := bench.RunServeTable(specs, cfg)
+		bench.WriteServeTable(os.Stdout, recs, cfg)
+		fmt.Println()
+	}
 	if *table == "approx" { // not part of -table all: it reruns the suite twice
 		ran = true
 		specs := bench.AdderMultSpecs(cfg)
@@ -195,11 +210,11 @@ func run() int {
 		writeTable6(rows, cfg6)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown -table %q (want 3, 4, 5, 6, dd, multi, approx or all)\n", *table)
+		fmt.Fprintf(os.Stderr, "unknown -table %q (want 3, 4, 5, 6, dd, multi, approx, serve or all)\n", *table)
 		return 2
 	}
 
-	if len(rep.Runs)+len(rep.Sessions) > 0 && *report != "none" {
+	if len(rep.Runs)+len(rep.Sessions)+len(rep.Serves) > 0 && *report != "none" {
 		path := *report
 		if path == "auto" {
 			path = bench.DefaultReportPath(time.Now())
@@ -209,8 +224,8 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "vacsem-bench:", err)
 			exitCode = 1
 		} else {
-			fmt.Fprintf(os.Stderr, "report written to %s (%d runs, %d sessions)\n",
-				path, len(rep.Runs), len(rep.Sessions))
+			fmt.Fprintf(os.Stderr, "report written to %s (%d runs, %d sessions, %d serves)\n",
+				path, len(rep.Runs), len(rep.Sessions), len(rep.Serves))
 		}
 	}
 	if *metricsFmt != "" {

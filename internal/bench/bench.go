@@ -78,6 +78,11 @@ type Config struct {
 	// cross-metric cache accounting. cmd/vacsem-bench points it at its
 	// JSON report.
 	OnSession func(SessionRecord)
+	// OnServe, when non-nil, receives one ServeRecord per benchmark the
+	// -table serve mode measures (cold vs store-warm vs
+	// snapshot-reloaded service jobs). cmd/vacsem-bench points it at its
+	// JSON report.
+	OnServe func(ServeRecord)
 }
 
 func (c Config) withDefaults() Config {

@@ -241,6 +241,7 @@ type Report struct {
 	mu       sync.Mutex
 	Runs     []RunRecord     `json:"runs"`
 	Sessions []SessionRecord `json:"sessions,omitempty"`
+	Serves   []ServeRecord   `json:"serves,omitempty"`
 	Metrics  *obs.Snapshot   `json:"metrics,omitempty"`
 }
 
@@ -276,6 +277,14 @@ func (r *Report) AddSession(rec SessionRecord) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.Sessions = append(r.Sessions, rec)
+}
+
+// AddServe appends one service cold/warm record; safe for concurrent
+// use so it can serve directly as Config.OnServe.
+func (r *Report) AddServe(rec ServeRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Serves = append(r.Serves, rec)
 }
 
 // AttachMetrics snapshots the default metrics registry into the report

@@ -1,0 +1,319 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"vacsem/internal/blif"
+	"vacsem/internal/circuit"
+	"vacsem/internal/serve"
+	"vacsem/internal/store"
+)
+
+// ServeRecord is one benchmark's measurement of the verification
+// service's cross-request store (the -table serve mode): the same
+// {ER, MED} job submitted three times over HTTP — cold against an empty
+// store, warm against the store the cold run filled, and again after a
+// server restart that reloaded the store from its snapshot. Warm runs
+// must return bit-identical values while solving nothing.
+type ServeRecord struct {
+	Bench string `json:"bench"`
+	// ColdSeconds/WarmSeconds/ReloadSeconds are the server-side session
+	// runtimes of the three submissions.
+	ColdSeconds   float64 `json:"cold_seconds"`
+	WarmSeconds   float64 `json:"warm_seconds"`
+	ReloadSeconds float64 `json:"reload_seconds"`
+	// ConeHits / ReloadConeHits count the tasks the warm runs served
+	// whole from the store (the cold run's must be zero, and is checked).
+	ConeHits       int `json:"cone_hits"`
+	ReloadConeHits int `json:"reload_cone_hits"`
+	// Match reports the warm and the reloaded values bit-identical to
+	// the cold ones — it must always hold; the table prints it loudly.
+	Match    bool   `json:"match"`
+	TimedOut bool   `json:"timed_out,omitempty"`
+	Err      string `json:"error,omitempty"`
+
+	// coldValues carries the cold run's metric values between phases.
+	coldValues []string
+}
+
+// Speedup is the warm-over-cold runtime ratio (0 when undefined).
+func (r ServeRecord) Speedup() float64 {
+	if r.ColdSeconds <= 0 || r.WarmSeconds <= 0 {
+		return 0
+	}
+	return r.ColdSeconds / r.WarmSeconds
+}
+
+// ServeSpecs builds the -table serve workload: one approximate version
+// per adder/multiplier benchmark (the store makes repeats free, so one
+// pair per family is the interesting unit).
+func ServeSpecs(cfg Config) []Spec {
+	specs := AdderMultSpecs(cfg)
+	for i := range specs {
+		specs[i].Approx = specs[i].Approx[:1]
+	}
+	return specs
+}
+
+// RunServeTable measures the verification service end to end: it
+// starts a real vacsem-serve instance (ephemeral port, snapshot file),
+// submits every spec's job cold and then warm over HTTP, restarts the
+// server from the written snapshot, and submits once more. Results are
+// reported per benchmark; cfg.OnServe receives each record.
+func RunServeTable(specs []Spec, cfg Config) []ServeRecord {
+	cfg = cfg.withDefaults()
+	recs := make([]ServeRecord, len(specs))
+	for i := range specs {
+		recs[i].Bench = specs[i].Name
+		recs[i].Match = true
+	}
+	fail := func(err error) []ServeRecord {
+		for i := range recs {
+			if recs[i].Err == "" {
+				recs[i].Err = err.Error()
+			}
+		}
+		emitServe(cfg, recs)
+		return recs
+	}
+
+	snapFile, err := os.CreateTemp("", "vacsem-serve-bench-*.json")
+	if err != nil {
+		return fail(err)
+	}
+	snapPath := snapFile.Name()
+	snapFile.Close()
+	os.Remove(snapPath) // the server's shutdown snapshot creates it
+	defer os.Remove(snapPath)
+
+	// Phase 1: one server, cold then warm submissions.
+	st := store.New(store.Config{})
+	cl, shutdown, err := startServer(st, snapPath, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	for i := range specs {
+		r := &recs[i]
+		res, jerr := cl.runJob(&specs[i], cfg)
+		if !r.note(jerr) {
+			continue
+		}
+		r.ColdSeconds = res.RuntimeMS / 1e3
+		r.coldValues = metricValues(res)
+		if res.StoreConeHits != 0 {
+			r.Err = fmt.Sprintf("cold run reports %d store hits", res.StoreConeHits)
+			continue
+		}
+		res, jerr = cl.runJob(&specs[i], cfg)
+		if !r.note(jerr) {
+			continue
+		}
+		r.WarmSeconds = res.RuntimeMS / 1e3
+		r.ConeHits = res.StoreConeHits
+		if !valuesEqual(r.coldValues, metricValues(res)) {
+			r.Match = false
+		}
+		if res.Decisions != 0 {
+			r.Err = fmt.Sprintf("warm run still ran solvers (%d decisions)", res.Decisions)
+		}
+	}
+	if err := shutdown(); err != nil {
+		return fail(err)
+	}
+
+	// Phase 2: a fresh server and store, warmed only by the snapshot the
+	// first server wrote on shutdown.
+	st2 := store.New(store.Config{})
+	if err := st2.LoadFile(snapPath); err != nil {
+		return fail(fmt.Errorf("reload snapshot: %w", err))
+	}
+	cl2, shutdown2, err := startServer(st2, "", cfg)
+	if err != nil {
+		return fail(err)
+	}
+	for i := range specs {
+		r := &recs[i]
+		if r.Err != "" || r.TimedOut {
+			continue
+		}
+		res, jerr := cl2.runJob(&specs[i], cfg)
+		if !r.note(jerr) {
+			continue
+		}
+		r.ReloadSeconds = res.RuntimeMS / 1e3
+		r.ReloadConeHits = res.StoreConeHits
+		if !valuesEqual(r.coldValues, metricValues(res)) {
+			r.Match = false
+		}
+	}
+	if err := shutdown2(); err != nil {
+		return fail(err)
+	}
+	emitServe(cfg, recs)
+	return recs
+}
+
+func emitServe(cfg Config, recs []ServeRecord) {
+	if cfg.OnServe == nil {
+		return
+	}
+	for _, r := range recs {
+		cfg.OnServe(r)
+	}
+}
+
+// note records a job error on the record and reports whether to go on.
+func (r *ServeRecord) note(err error) bool {
+	switch {
+	case err == nil:
+		return true
+	case strings.Contains(err.Error(), "time limit"):
+		r.TimedOut = true
+	default:
+		r.Err = err.Error()
+	}
+	return false
+}
+
+func metricValues(res *serve.JobResult) []string {
+	vals := make([]string, len(res.Metrics))
+	for i, m := range res.Metrics {
+		vals[i] = m.Value
+	}
+	return vals
+}
+
+func valuesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// startServer brings up a service instance on an ephemeral local port
+// and returns a client plus a shutdown function (drains, snapshots when
+// snapPath is set, and frees the port).
+func startServer(st *store.Store, snapPath string, cfg Config) (*serveClient, func() error, error) {
+	srv := serve.New(serve.Config{
+		Store:            st,
+		Workers:          cfg.Workers,
+		DefaultTimeLimit: cfg.TimeLimit,
+		SnapshotPath:     snapPath,
+	})
+	hs, err := serve.Start("127.0.0.1:0", srv)
+	if err != nil {
+		return nil, nil, err
+	}
+	cl := &serveClient{base: "http://" + hs.Addr()}
+	shutdown := func() error {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.TimeLimit+time.Minute)
+		defer cancel()
+		return srv.Close(ctx)
+	}
+	return cl, shutdown, nil
+}
+
+// serveClient is a minimal HTTP client for the service API.
+type serveClient struct {
+	base string
+}
+
+// runJob submits one {ER, MED} job for the spec's first approximate
+// version and polls it to completion, returning the server-side result.
+func (c *serveClient) runJob(spec *Spec, cfg Config) (*serve.JobResult, error) {
+	req := serve.VerifyRequest{
+		ExactBLIF:  blifText(spec.Exact),
+		ApproxBLIF: blifText(spec.Approx[0]),
+		Metrics:    []string{"er", "med"},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(c.base+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	var sub serve.SubmitResponse
+	if err := decodeBody(resp, http.StatusAccepted, &sub); err != nil {
+		return nil, fmt.Errorf("submit %s: %w", spec.Name, err)
+	}
+	deadline := time.Now().Add(cfg.TimeLimit + time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(c.base + "/v1/jobs/" + sub.JobID)
+		if err != nil {
+			return nil, err
+		}
+		var st serve.JobStatus
+		if err := decodeBody(resp, http.StatusOK, &st); err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case serve.StateDone:
+			return st.Result, nil
+		case serve.StateError:
+			return nil, fmt.Errorf("job %s: %s", sub.JobID, st.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("job %s: poll deadline exceeded", sub.JobID)
+}
+
+func decodeBody(resp *http.Response, wantStatus int, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func blifText(c *circuit.Circuit) string {
+	var buf bytes.Buffer
+	blif.Write(&buf, c)
+	return buf.String()
+}
+
+// WriteServeTable prints the service cold/warm/reload comparison.
+func WriteServeTable(w io.Writer, recs []ServeRecord, cfg Config) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Verification service: cold vs store-warm vs snapshot-reloaded {ER, MED} jobs over HTTP (time limit %v%s)\n",
+		cfg.TimeLimit, map[bool]string{true: ", full-size", false: ", scaled"}[cfg.Full])
+	fmt.Fprintf(w, "%-11s %10s %10s %10s %9s %10s %7s\n",
+		"Benchmark", "Cold/s", "Warm/s", "Reload/s", "Speedup", "ConeHits", "Match")
+	for _, r := range recs {
+		switch {
+		case r.TimedOut:
+			fmt.Fprintf(w, "%-11s %10s\n", r.Bench, fmt.Sprintf(">%g", cfg.TimeLimit.Seconds()))
+			continue
+		case r.Err != "":
+			fmt.Fprintf(w, "%-11s ERROR: %s\n", r.Bench, r.Err)
+			continue
+		}
+		speedup := "-"
+		if s := r.Speedup(); s > 0 {
+			speedup = fmt.Sprintf("%.3gx", s)
+		}
+		match := "ok"
+		if !r.Match {
+			match = "VALUE MISMATCH"
+		}
+		fmt.Fprintf(w, "%-11s %10.4g %10.4g %10.4g %9s %10s %7s\n",
+			r.Bench, r.ColdSeconds, r.WarmSeconds, r.ReloadSeconds, speedup,
+			fmt.Sprintf("%d/%d", r.ConeHits, r.ReloadConeHits), match)
+	}
+}

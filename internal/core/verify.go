@@ -27,6 +27,7 @@ import (
 	"vacsem/internal/engine"
 	"vacsem/internal/obs"
 	"vacsem/internal/plan"
+	"vacsem/internal/store"
 )
 
 // Session- and run-level metrics. A session is one VerifyMetrics (or
@@ -184,6 +185,16 @@ type Options struct {
 	// are bit-identical either way, sharing only adds cross-task hits —
 	// including across metrics of one session).
 	DisableSharedCache bool
+	// Store, when non-nil, is a cross-request result store shared across
+	// verification calls (typically one per process — vacsem-serve
+	// injects its global store). Counting backends serve tasks whose
+	// canonical cone keys already have compatible stored counts without
+	// re-solving them, record fresh solves back with provenance, and use
+	// the store's component tier as the session's shared cache. Exact
+	// results are bit-identical with or without a store; approximate
+	// results reuse only entries whose (ε, δ) guarantee is at least as
+	// tight as the request's. Ignored when DisableCache is set.
+	Store *store.Store
 	// DisableIBCP turns off failed-literal probing (ablation).
 	DisableIBCP bool
 	// DisableLearning turns off conflict-driven clause learning (ablation).
@@ -246,6 +257,7 @@ func (o *Options) engineConfig() engine.Config {
 		MinSimGates:     o.MinSimGates,
 		DisableCache:    o.DisableCache,
 		SharedCache:     !o.DisableSharedCache,
+		Store:           o.Store,
 		DisableIBCP:     o.DisableIBCP,
 		DisableLearning: o.DisableLearning,
 		BDDNodeLimit:    o.BDDNodeLimit,
@@ -329,6 +341,11 @@ type SessionResult struct {
 	TasksRequested int
 	TasksUnique    int
 	TasksDeduped   int
+	// StoreConeHits counts the session's tasks served whole from the
+	// cross-request cone store (Options.Store) instead of being solved;
+	// always 0 without a store. TasksUnique - StoreConeHits tasks
+	// actually ran a solver (or resolved trivially).
+	StoreConeHits int
 	// BaseNodesBefore/After record the shared base miter's gate count
 	// around its single synthesis pass.
 	BaseNodesBefore int
@@ -358,8 +375,7 @@ func VerifyMetrics(ctx context.Context, exact, approx *circuit.Circuit, specs []
 	for i, s := range specs {
 		names[i] = s.MetricName()
 	}
-	runID := obs.NextRunID()
-	ctx = obs.WithRun(ctx, runID)
+	runID := ensureRunID(&ctx)
 	tr := obs.Active()
 	var span obs.SpanID
 	if tr != nil {
@@ -465,8 +481,7 @@ func VerifyMiterContext(ctx context.Context, name string, m *circuit.Circuit, we
 		return nil, err
 	}
 	start := time.Now()
-	runID := obs.NextRunID()
-	ctx = obs.WithRun(ctx, runID)
+	runID := ensureRunID(&ctx)
 	tr := obs.Active()
 	var span obs.SpanID
 	if tr != nil {
@@ -489,6 +504,20 @@ func VerifyMiterContext(ctx context.Context, name string, m *circuit.Circuit, we
 		return nil, err
 	}
 	return sr.Results[0], nil
+}
+
+// ensureRunID returns the run ID every span and progress event of this
+// verification correlates under. A caller that already allocated one —
+// vacsem-serve stamps each job's ID onto the context before calling in,
+// so its event streams can filter the shared hub by run — keeps it;
+// otherwise a fresh ID is allocated and stamped.
+func ensureRunID(ctx *context.Context) uint64 {
+	if id := obs.RunFrom(*ctx); id != 0 {
+		return id
+	}
+	id := obs.NextRunID()
+	*ctx = obs.WithRun(*ctx, id)
+	return id
 }
 
 // errRunDeadline is the cancellation cause installed by withTimeLimit,
@@ -609,6 +638,11 @@ func runPlan(ctx context.Context, p *plan.Plan, be engine.Backend, opt Options, 
 		BaseNodesBefore: p.BaseNodesBefore,
 		BaseNodesAfter:  p.BaseNodesAfter,
 		Timeseries:      ts,
+	}
+	for i := range out.TaskResults {
+		if out.TaskResults[i].FromStore {
+			sr.StoreConeHits++
+		}
 	}
 	denom := new(big.Int).Lsh(big.NewInt(1), uint(p.TotalInputs))
 	for i := range out.Metrics {

@@ -254,12 +254,32 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// Stats aggregates the per-shard counters into one snapshot.
+// lockAll acquires every shard lock in index order (the only place more
+// than one shard lock is ever held, so the fixed order cannot deadlock)
+// and returns the matching unlock.
+func (c *Cache) lockAll() (unlock func()) {
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	return func() {
+		for i := range c.shards {
+			c.shards[i].mu.Unlock()
+		}
+	}
+}
+
+// Stats aggregates the per-shard counters into one snapshot. All shard
+// locks are held while reading, so the snapshot is consistent under
+// concurrent mutation: an earlier shard-by-shard read could tear the
+// totals (e.g. count a store's counter bump but miss its entry, so
+// Stores - Evictions != Entries on an otherwise unbounded cache), which
+// showed up as impossible numbers on the /metrics page mid-run.
 func (c *Cache) Stats() CacheStats {
+	unlock := c.lockAll()
+	defer unlock()
 	var s CacheStats
 	for i := range c.shards {
 		sh := &c.shards[i]
-		sh.mu.Lock()
 		s.Hits += sh.hits
 		s.Misses += sh.misses
 		s.Stores += sh.stores
@@ -267,7 +287,53 @@ func (c *Cache) Stats() CacheStats {
 		s.CrossHits += sh.cross
 		s.Entries += len(sh.m)
 		s.Bytes += sh.bytes
-		sh.mu.Unlock()
 	}
 	return s
+}
+
+// Entry is one cache entry in portable form, as produced by
+// SnapshotEntries and consumed by LoadEntries (the persistence layer of
+// the cross-request store).
+type Entry struct {
+	// Key is the canonical content key (binary-safe; callers that
+	// serialize entries to text must encode it, e.g. base64).
+	Key string
+	// Count is the exact model count of the canonical residual formula.
+	// SnapshotEntries returns a private copy; LoadEntries takes
+	// ownership of the value (it must not be mutated afterwards).
+	Count *big.Int
+}
+
+// SnapshotEntries returns a consistent copy of every entry in the
+// cache. All shard locks are held while copying, so the result is a
+// point-in-time snapshot even under concurrent mutation. Counts are
+// deep-copied: mutating the returned entries never corrupts the cache.
+func (c *Cache) SnapshotEntries() []Entry {
+	unlock := c.lockAll()
+	defer unlock()
+	n := 0
+	for i := range c.shards {
+		n += len(c.shards[i].m)
+	}
+	out := make([]Entry, 0, n)
+	for i := range c.shards {
+		for k, e := range c.shards[i].m {
+			out = append(out, Entry{Key: k, Count: new(big.Int).Set(e.cnt)})
+		}
+	}
+	return out
+}
+
+// LoadEntries inserts the given entries (a prior SnapshotEntries, e.g.
+// reloaded from disk) under owner tag 0, so the first hit by any solver
+// counts as a cross hit — which it is: the work was done in another
+// process life. The usual per-shard bounds apply; entries beyond them
+// evict as normal stores would. Duplicate keys keep the first entry.
+func (c *Cache) LoadEntries(entries []Entry) {
+	for _, e := range entries {
+		if e.Count == nil {
+			continue
+		}
+		c.Store(e.Key, e.Count, 0)
+	}
 }

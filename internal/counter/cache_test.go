@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"strings"
+	"sync"
 	"testing"
 
 	"vacsem/internal/cnf"
@@ -145,5 +146,91 @@ func TestCacheDuplicateStoreKeepsFirst(t *testing.T) {
 	}
 	if c.Len() != 1 {
 		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+// TestCacheStatsConsistentUnderConcurrency pins the all-shards-locked
+// Stats snapshot: on an unbounded cache fed with unique keys, a
+// consistent snapshot must satisfy Stores == Entries at every instant
+// (no evictions, no duplicate stores). The old shard-by-shard read
+// could observe shard i's counter after a store but miss shard j's
+// entry from a racing store, tearing the totals shown on /metrics.
+func TestCacheStatsConsistentUnderConcurrency(t *testing.T) {
+	c := NewCache(1<<20, 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Store(fmt.Sprintf("w%d-key-%d", w, i), big.NewInt(int64(i)), int32(w))
+				c.Lookup(fmt.Sprintf("w%d-key-%d", w, i/2), int32(w))
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		s := c.Stats()
+		if s.Evictions != 0 {
+			t.Fatalf("unexpected evictions (%d) on an unbounded cache", s.Evictions)
+		}
+		if s.Stores != uint64(s.Entries) {
+			t.Fatalf("torn snapshot: stores=%d entries=%d", s.Stores, s.Entries)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCacheSnapshotLoadRoundTrip pins the persistence primitive the
+// cross-request store builds on: SnapshotEntries -> LoadEntries into a
+// fresh cache reproduces every (key, count) pair, counts are deep
+// copies (mutating the snapshot cannot corrupt the source cache), and
+// reloaded entries carry owner tag 0 so any solver's first hit counts
+// as a cross hit.
+func TestCacheSnapshotLoadRoundTrip(t *testing.T) {
+	src := NewCache(0, 0)
+	want := map[string]*big.Int{}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-\x00\xff-%d", i) // binary-safe keys
+		v := new(big.Int).Lsh(big.NewInt(int64(i+1)), uint(i))
+		want[k] = v
+		src.Store(k, new(big.Int).Set(v), 7)
+	}
+	snap := src.SnapshotEntries()
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot holds %d entries, want %d", len(snap), len(want))
+	}
+	for i := range snap {
+		snap[i].Count.Add(snap[i].Count, big.NewInt(1)) // must not reach src
+	}
+	for k, v := range want {
+		got, _, ok := src.Lookup(k, 7)
+		if !ok || got.Cmp(v) != 0 {
+			t.Fatalf("snapshot mutation corrupted source entry %q: got %v want %v", k, got, v)
+		}
+	}
+	snap = src.SnapshotEntries() // fresh, unmutated copy
+	dst := NewCache(0, 0)
+	dst.LoadEntries(snap)
+	if dst.Len() != len(want) {
+		t.Fatalf("reloaded cache holds %d entries, want %d", dst.Len(), len(want))
+	}
+	for k, v := range want {
+		got, cross, ok := dst.Lookup(k, 7)
+		if !ok {
+			t.Fatalf("entry %q lost in the round trip", k)
+		}
+		if got.Cmp(v) != 0 {
+			t.Fatalf("entry %q count = %v, want %v", k, got, v)
+		}
+		if !cross {
+			t.Errorf("reloaded entry %q hit is not a cross hit (owner tag should be 0)", k)
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"vacsem/internal/cnf"
 	"vacsem/internal/counter"
 	"vacsem/internal/obs"
+	"vacsem/internal/store"
 )
 
 // Per-task metrics, updated once per solved task (sub-miter).
@@ -54,8 +55,15 @@ func (b *countingBackend) Execute(ctx context.Context, req *Request) ([]TaskResu
 	// count solved inside one task is reused by the rest. Owner tags
 	// (index+1) let the cache distinguish cross-task hits from
 	// same-solver hits.
+	// A cross-request store supersedes the per-session cache: its
+	// component tier plays the shared-cache role with a process-long
+	// lifetime, so residual components transfer across sessions too.
 	var cache *counter.Cache
-	if req.Config.SharedCache && !req.Config.DisableCache {
+	switch {
+	case req.Config.DisableCache:
+	case req.Config.Store != nil:
+		cache = req.Config.Store.Components()
+	case req.Config.SharedCache:
 		cache = counter.NewCache(0, 0)
 	}
 	// One shared probe cache for the approx backend: hash rows depend
@@ -131,7 +139,7 @@ func (b *countingBackend) Execute(ctx context.Context, req *Request) ([]TaskResu
 					Count: tres.Count,
 					Done:  doneN, Total: len(req.Tasks),
 					Runtime: tres.Runtime, Stats: tres.Stats, Trivial: tres.Trivial,
-					Approx: tres.Approx,
+					Approx: tres.Approx, FromStore: tres.FromStore,
 				})
 				progMu.Unlock()
 			}
@@ -195,7 +203,7 @@ func (b *countingBackend) solveTask(ctx context.Context, req *Request, j int, ca
 				"run_id": runID, "backend": b.name,
 				"index": j, "label": t.Label,
 				"count": res.Count.String(), "seconds": res.Runtime.Seconds(),
-				"trivial": res.Trivial,
+				"trivial": res.Trivial, "from_store": res.FromStore,
 			}
 			if err != nil {
 				f["error"] = err.Error()
@@ -237,6 +245,21 @@ func (b *countingBackend) solveTask(ctx context.Context, req *Request, j int, ca
 		res.Count.Lsh(big.NewInt(1), uint(totalInputs-1))
 		res.Trivial = true
 	default:
+		// Cross-request reuse: consult the store's cone tier by the
+		// task's canonical key before paying for encode + solve. The key
+		// is an exact content address, so a compatible hit IS the count
+		// this solver would produce (bit-identical for exact backends).
+		if e, ok := b.storeLookup(req, t, totalInputs); ok {
+			res.Count.Lsh(e.Count, uint(totalInputs-t.KeyInputs))
+			res.FromStore = true
+			if !e.Exact {
+				res.Approx = true
+				res.Epsilon = e.Epsilon
+				res.Delta = e.Delta
+				res.BestEffort = e.BestEffort
+			}
+			return res, nil
+		}
 		var f *cnf.Formula
 		f, err = cnf.Encode(sub)
 		if err != nil {
@@ -272,8 +295,81 @@ func (b *countingBackend) solveTask(ctx context.Context, req *Request, j int, ca
 		// relative (1+ε) band is preserved by the power-of-two factor.
 		extra := totalInputs - f.NumEncodedInputs()
 		res.Count.Lsh(cnt, uint(extra))
+		b.storeRecord(req, t, totalInputs, &res)
 	}
 	return res, nil
+}
+
+// Approx guarantee defaults, mirroring counter.ApproxConfig's zero-value
+// resolution — the store compares guarantees literally, so both lookup
+// and record must present the resolved (ε, δ).
+const (
+	defaultApproxEpsilon = 0.8
+	defaultApproxDelta   = 0.2
+)
+
+// storeGuarantee is the resolved guarantee this backend's counts carry:
+// exact for the exact backends, the session's resolved (ε, δ) for the
+// approx backend.
+func (b *countingBackend) storeGuarantee(cfg *Config) store.Req {
+	if !b.approx {
+		return store.Req{Exact: true}
+	}
+	eps, delta := cfg.Epsilon, cfg.Delta
+	if eps <= 0 {
+		eps = defaultApproxEpsilon
+	}
+	if delta <= 0 {
+		delta = defaultApproxDelta
+	}
+	return store.Req{Epsilon: eps, Delta: delta}
+}
+
+// storeLookup consults the cross-request cone tier for task t. Only
+// plan-built tasks carry a key; requests without a store (or with
+// caching disabled) skip the tier entirely.
+func (b *countingBackend) storeLookup(req *Request, t *CountTask, totalInputs int) (*store.ConeEntry, bool) {
+	st := req.Config.Store
+	if st == nil || req.Config.DisableCache || t.Key == "" ||
+		t.KeyInputs < 0 || t.KeyInputs > totalInputs {
+		return nil, false
+	}
+	return st.LookupCone(t.Key, b.storeGuarantee(&req.Config))
+}
+
+// storeRecord publishes a freshly solved count to the cone tier,
+// normalized to the cone's own 2^KeyInputs space so any later session —
+// whatever its total input count — can rescale it exactly. res.Count
+// is cnt << (totalInputs - encodedInputs) and the key pins
+// encodedInputs ≤ KeyInputs ≤ totalInputs, so the normalization is an
+// exact right shift; the round-trip check below makes that assumption
+// load-bearing rather than silent (a lossy shift would poison every
+// later request sharing the key).
+func (b *countingBackend) storeRecord(req *Request, t *CountTask, totalInputs int, res *TaskResult) {
+	st := req.Config.Store
+	if st == nil || req.Config.DisableCache || t.Key == "" ||
+		t.KeyInputs < 0 || t.KeyInputs > totalInputs {
+		return
+	}
+	shift := uint(totalInputs - t.KeyInputs)
+	stored := new(big.Int).Rsh(res.Count, shift)
+	if new(big.Int).Lsh(stored, shift).Cmp(res.Count) != 0 {
+		return
+	}
+	e := store.ConeEntry{
+		Count:   stored,
+		Inputs:  t.KeyInputs,
+		Backend: b.name,
+	}
+	if res.Approx {
+		e.Epsilon = res.Epsilon
+		e.Delta = res.Delta
+		e.Seed = req.Config.Seed
+		e.BestEffort = res.BestEffort
+	} else {
+		e.Exact = true
+	}
+	st.StoreCone(t.Key, e)
 }
 
 // approxTask estimates one task's count with counter.ApproxCount. The

@@ -27,6 +27,7 @@ import (
 
 	"vacsem/internal/circuit"
 	"vacsem/internal/counter"
+	"vacsem/internal/store"
 )
 
 // ErrTooLarge is returned by the enumeration backend when the input
@@ -58,6 +59,19 @@ type Config struct {
 	// sharing only trades memory for cross-task hits. Ignored when
 	// DisableCache is set.
 	SharedCache bool
+	// Store, when non-nil, is a cross-request result store shared across
+	// sessions (and typically across the whole process — vacsem-serve
+	// injects one). Counting backends consult its cone tier by each
+	// task's canonical key before dispatching a solver, record every
+	// non-trivial solve back with provenance, and use its component tier
+	// as the session's shared component cache (superseding SharedCache).
+	// Cone keys are exact content addresses and counts are
+	// function-determined, so a store hit returns precisely the count
+	// the solver would have computed — exact results are bit-identical
+	// with or without the store; approximate results are served only
+	// under a guarantee at least as tight as requested (see
+	// store.Req). Ignored when DisableCache is set.
+	Store *store.Store
 	// DisableIBCP turns off failed-literal probing (ablation).
 	DisableIBCP bool
 	// DisableLearning turns off conflict-driven clause learning (ablation).
@@ -119,6 +133,17 @@ type CountTask struct {
 	// Label names the task in spans and progress events; by convention
 	// "<metric>/<output>" of the first metric output that produced it.
 	Label string
+	// Key is the canonical cone key of Sub (plan's coneKey over the
+	// synthesized cone): a content address equal across sessions exactly
+	// when the cones are isomorphic over the same shared-input
+	// positions. Empty when the request was built without the plan layer;
+	// store-aware backends then skip the cone tier for this task.
+	Key string
+	// KeyInputs is the number of shared inputs the cone actually
+	// reaches (pinned by Key). Counts stored under Key live in this
+	// 2^KeyInputs space; backends rescale to the session's full input
+	// space by shifting.
+	KeyInputs int
 	// NodesBefore and NodesAfter record the task's gate count before and
 	// after the plan layer's synthesis pass.
 	NodesBefore int
@@ -169,6 +194,12 @@ type TaskResult struct {
 	// short by the context deadline: the (1+Epsilon) band is unchanged
 	// but holds with the widened Delta reported above.
 	BestEffort bool
+	// FromStore marks a count served from the cross-request cone store
+	// (Config.Store): no solver ran for this task in this session.
+	// Runtime then covers only the lookup; Stats is zero. Approx,
+	// Epsilon and Delta describe the stored entry's provenance, which is
+	// at least as strong as the request's guarantee.
+	FromStore bool
 	// SupportBefore and SupportAfter are the approx sampling-set sizes
 	// around independent-support minimization; HashDensity is the mean
 	// density of the hash rows actually drawn. All zero for exact
@@ -192,6 +223,9 @@ type TaskEvent struct {
 	Trivial     bool
 	// Approx marks an (ε, δ)-estimated count (see TaskResult.Approx).
 	Approx bool
+	// FromStore marks a count served by the cross-request cone store
+	// (see TaskResult.FromStore).
+	FromStore bool
 }
 
 // TaskProgressFunc observes per-task completion events.

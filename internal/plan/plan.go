@@ -304,7 +304,7 @@ func (p *Plan) compile(c *circuit.Circuit, noSynth bool) {
 			label := p.Metrics[i].Name + "/" + p.Metrics[i].Outputs[k]
 			cone, old2new := c.ExtractCone(ri)
 			pos := inputPositions(c, old2new)
-			key := coneKey(cone, pos)
+			key, _ := coneKey(cone, pos)
 			gi, ok := rawKey[key]
 			if !ok {
 				gi = len(groups)
@@ -336,7 +336,7 @@ func (p *Plan) compile(c *circuit.Circuit, noSynth bool) {
 		if !noSynth {
 			comp = synth.Compress(g.cone)
 		}
-		key := coneKey(comp, g.inputPos)
+		key, keyInputs := coneKey(comp, g.inputPos)
 		ti, ok := compKey[key]
 		if !ok {
 			ti = len(tasks)
@@ -345,6 +345,7 @@ func (p *Plan) compile(c *circuit.Circuit, noSynth bool) {
 			tasks = append(tasks, &task{
 				ct: engine.CountTask{
 					Sub: comp, Label: g.label,
+					Key: key, KeyInputs: keyInputs,
 					NodesBefore: g.cone.NumGates(),
 					NodesAfter:  comp.NumGates(),
 				},
@@ -415,8 +416,16 @@ func inputPositions(c *circuit.Circuit, old2new []int) []int {
 //   - names appear nowhere.
 //
 // The key is exact — no hashing — so equal keys imply isomorphic cones
-// and therefore equal counts; dedup is sound by construction.
-func coneKey(c *circuit.Circuit, inputPos []int) string {
+// and therefore equal counts; dedup is sound by construction. That same
+// property makes the key safe as a *cross-run* content address (the
+// store tier of internal/store): it mentions nothing session-specific
+// beyond shared-input positions, which isomorphic sessions reproduce.
+//
+// inputs reports how many of the session's inputs the cone actually
+// reaches — the cone's own input space is 2^inputs, which is the space
+// the store normalizes counts to (unreachable inputs are free and scale
+// any count by an exact power of two).
+func coneKey(c *circuit.Circuit, inputPos []int) (key string, inputs int) {
 	mark := c.ConeMark(c.Outputs[0])
 	rank := make([]int, len(c.Nodes))
 	next := 0
@@ -434,6 +443,7 @@ func coneKey(c *circuit.Circuit, inputPos []int) string {
 		nd := &c.Nodes[id]
 		buf = append(buf, byte(nd.Kind))
 		if nd.Kind == circuit.Input {
+			inputs++
 			buf = binary.AppendUvarint(buf, uint64(inputPos[inputIdx[id]]))
 			continue
 		}
@@ -442,7 +452,7 @@ func coneKey(c *circuit.Circuit, inputPos []int) string {
 		}
 	}
 	buf = binary.AppendUvarint(buf, uint64(rank[c.Outputs[0]]))
-	return string(buf)
+	return string(buf), inputs
 }
 
 // ProgressEvent reports the completion of one metric output bit. When
@@ -472,6 +482,9 @@ type ProgressEvent struct {
 	Trivial bool
 	// Approx marks an (ε, δ)-estimated count (the approx backend).
 	Approx bool
+	// FromStore marks a count served by the cross-request cone store
+	// rather than computed in this run.
+	FromStore bool
 	// RunID identifies the verification run the event belongs to (0 when
 	// the caller did not allocate one); TUs is the event time in
 	// microseconds on the process-monotonic obs.SinceStart clock. Both
@@ -512,6 +525,10 @@ type SubResult struct {
 	// BestEffort marks an approx count whose round schedule was cut
 	// short by the deadline (Delta is the widened failure probability).
 	BestEffort bool
+	// FromStore marks a count served by the cross-request cone store
+	// (engine.TaskResult.FromStore): no solver ran for it in this
+	// session. Shared bits inherit the flag from their owning task.
+	FromStore bool
 	// SupportBefore and SupportAfter are the approx sampling-set sizes
 	// around independent-support minimization; HashDensity is the mean
 	// density of the hash rows drawn. Zero for exact backends.
@@ -565,11 +582,12 @@ func (p *Plan) Run(ctx context.Context, be engine.Backend, cfg engine.Config, pr
 					Count: te.Count, Weight: m.Weights[r.output],
 					Done: metricDone[r.metric], Total: len(m.Outputs),
 					SessionDone: te.Done, SessionTotal: te.Total,
-					Shared:  !m.Owner[r.output],
-					Trivial: te.Trivial,
-					Approx:  te.Approx,
-					RunID:   runID,
-					TUs:     obs.SinceStart().Microseconds(),
+					Shared:    !m.Owner[r.output],
+					Trivial:   te.Trivial,
+					Approx:    te.Approx,
+					FromStore: te.FromStore,
+					RunID:     runID,
+					TUs:       obs.SinceStart().Microseconds(),
 				}
 				if m.Owner[r.output] {
 					ev.Runtime, ev.Stats = te.Runtime, te.Stats
@@ -583,6 +601,7 @@ func (p *Plan) Run(ctx context.Context, be engine.Backend, cfg engine.Config, pr
 						"count": ev.Count.String(), "done": ev.Done, "total": ev.Total,
 						"session_done": ev.SessionDone, "session_total": ev.SessionTotal,
 						"shared": ev.Shared, "trivial": ev.Trivial, "approx": ev.Approx,
+						"from_store": ev.FromStore,
 					})
 				}
 			}
@@ -619,6 +638,7 @@ func (p *Plan) Run(ctx context.Context, be engine.Backend, cfg engine.Config, pr
 				Epsilon:       res.Epsilon,
 				Delta:         res.Delta,
 				BestEffort:    res.BestEffort,
+				FromStore:     res.FromStore,
 				SupportBefore: res.SupportBefore,
 				SupportAfter:  res.SupportAfter,
 				HashDensity:   res.HashDensity,

@@ -101,6 +101,17 @@ case "$scale_speedup" in
 	;;
 esac
 
+echo "==> serve smoke (HTTP service: cold/warm dedup, /metrics, snapshot on SIGTERM)"
+./scripts/serve_smoke.sh
+
+echo "==> serve bench smoke (cold vs store-warm service jobs; values must match)"
+serve_out=$(go run ./cmd/vacsem-bench -table serve -versions 1 -timelimit 15s -report none)
+echo "$serve_out"
+if echo "$serve_out" | grep -q "MISMATCH\|ERROR:"; then
+	echo "serve table reported a mismatch or error"
+	exit 1
+fi
+
 echo "==> traced quickstart (JSONL trace parses and is self-consistent)"
 go run ./examples/traced_verify >/dev/null
 
